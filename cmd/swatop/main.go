@@ -1,0 +1,131 @@
+// Command swatop tunes one operator and emits its schedule report and
+// generated SW26010 C code.
+//
+// Usage:
+//
+//	swatop gemm -m 2048 -n 2048 -k 2048 [-c out.c] [-ir]
+//	swatop conv -method implicit -b 32 -ni 256 -no 256 -r 28 [-kernel 3] [-c out.c] [-ir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swatop"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gemm":
+		gemmCmd(os.Args[2:])
+	case "conv":
+		convCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  swatop gemm -m M -n N -k K [-c out.c] [-ir]
+  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-c out.c] [-ir]`)
+	os.Exit(2)
+}
+
+func gemmCmd(args []string) {
+	fs := flag.NewFlagSet("gemm", flag.ExitOnError)
+	m := fs.Int("m", 1024, "rows of A/C")
+	n := fs.Int("n", 1024, "columns of B/C")
+	k := fs.Int("k", 1024, "reduction extent")
+	cOut := fs.String("c", "", "write generated C to file")
+	showIR := fs.Bool("ir", false, "print the optimized IR")
+	showTrace := fs.Bool("trace", false, "print the execution timeline")
+	_ = fs.Parse(args)
+
+	tuner := mustTuner()
+	tuned, err := tuner.TuneGemm(swatop.GemmParams{M: *m, N: *n, K: *k})
+	check(err)
+	base, err := swatop.BaselineGemmSeconds(swatop.GemmParams{M: *m, N: *n, K: *k})
+	check(err)
+	reportTuned(tuned, base, "xMath")
+	emit(tuned, *cOut, *showIR)
+	if *showTrace {
+		tr, err := tuned.Trace()
+		check(err)
+		fmt.Println("\n--- execution timeline ---")
+		fmt.Print(tr)
+	}
+}
+
+func convCmd(args []string) {
+	fs := flag.NewFlagSet("conv", flag.ExitOnError)
+	method := fs.String("method", swatop.Implicit, "implicit|explicit|winograd")
+	b := fs.Int("b", 32, "batch size")
+	ni := fs.Int("ni", 256, "input channels")
+	no := fs.Int("no", 256, "output channels")
+	r := fs.Int("r", 28, "output rows = columns")
+	kk := fs.Int("kernel", 3, "kernel rows = columns")
+	cOut := fs.String("c", "", "write generated C to file")
+	showIR := fs.Bool("ir", false, "print the optimized IR")
+	showTrace := fs.Bool("trace", false, "print the execution timeline")
+	_ = fs.Parse(args)
+
+	s := swatop.ConvShape{B: *b, Ni: *ni, No: *no, Ro: *r, Co: *r, Kr: *kk, Kc: *kk}
+	tuner := mustTuner()
+	tuned, err := tuner.TuneConv(*method, s)
+	check(err)
+	base, berr := swatop.BaselineConvSeconds(*method, s)
+	if berr != nil {
+		fmt.Printf("manual baseline: n/a (%v)\n", berr)
+		base = 0
+	}
+	reportTuned(tuned, base, "manual")
+	emit(tuned, *cOut, *showIR)
+	if *showTrace {
+		tr, err := tuned.Trace()
+		check(err)
+		fmt.Println("\n--- execution timeline ---")
+		fmt.Print(tr)
+	}
+}
+
+func mustTuner() *swatop.Tuner {
+	t, err := swatop.NewTuner()
+	check(err)
+	return t
+}
+
+func reportTuned(tuned *swatop.Tuned, baseline float64, baseName string) {
+	fmt.Printf("schedule space : %d valid candidates\n", tuned.SpaceSize())
+	fmt.Printf("selected       : %s\n", tuned.Strategy())
+	fmt.Printf("simulated time : %.4g ms  (%.0f GFLOPS per core group)\n",
+		tuned.Seconds()*1e3, tuned.GFLOPS())
+	if baseline > 0 {
+		fmt.Printf("%-15s: %.4g ms  (swATOP speedup %.2fx)\n",
+			baseName, baseline*1e3, baseline/tuned.Seconds())
+	}
+}
+
+func emit(tuned *swatop.Tuned, cOut string, showIR bool) {
+	if showIR {
+		fmt.Println("\n--- optimized IR ---")
+		fmt.Println(tuned.PrintIR())
+	}
+	if cOut != "" {
+		src, err := tuned.EmitC()
+		check(err)
+		check(os.WriteFile(cOut, []byte(src), 0o644))
+		fmt.Printf("generated C    : %s (%d bytes)\n", cOut, len(src))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swatop:", err)
+		os.Exit(1)
+	}
+}

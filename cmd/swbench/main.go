@@ -1,0 +1,59 @@
+// Command swbench regenerates the paper's tables and figures against the
+// simulated SW26010.
+//
+// Usage:
+//
+//	swbench [-full] [-csv] [experiment ...]
+//
+// Experiments: substrate fig5 fig6 fig7 table1 fig8 table2 table3 fig9
+// fig10 fig11 (default: all). -full runs the complete parameter grids
+// instead of the quick stratified subsets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swatop/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run complete parameter grids (slow)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	runner, err := experiments.NewRunner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		os.Exit(1)
+	}
+	runner.Quick = !*full
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		table, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", e.Title, table.CSV())
+		} else {
+			fmt.Println(table.String())
+		}
+		fmt.Printf("(%s finished in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,45 @@
+// Command swsim runs the substrate microbenchmarks of the simulated
+// SW26010 core group and compares them with the published measurements the
+// simulator is calibrated against (Xu, Lin, Matsuoka, IPDPSW'17 — the
+// paper's reference [24]).
+package main
+
+import (
+	"fmt"
+
+	"swatop/internal/primitives"
+	"swatop/internal/sw26010"
+)
+
+func main() {
+	fmt.Println("SW26010 core-group simulator — substrate characterization")
+	fmt.Printf("clock %.2f GHz · %d CPEs · %d KB SPM/CPE · peak %.0f GFLOPS/CG (%.2f TFLOPS chip)\n\n",
+		sw26010.ClockHz/1e9, sw26010.NumCPE, sw26010.SPMBytes/1024,
+		sw26010.PeakGFlops, sw26010.PeakGFlops*sw26010.NumCG/1e3)
+
+	triad := sw26010.StreamTriadDMA(8192)
+	fmt.Printf("%-28s %8.2f GB/s   (published: 22.6 GB/s)\n", "DMA stream triad", triad.GBperSecond)
+	gl := sw26010.StreamGLDGST(1 << 26)
+	fmt.Printf("%-28s %8.2f GB/s   (published: 1.48 GB/s)\n", "gld/gst", gl.GBperSecond)
+	rc := sw26010.RegCommBroadcast(1 << 16)
+	fmt.Printf("%-28s %8.2f GB/s   (published: 647.25 GB/s)\n\n", "register communication", rc.GBperSecond)
+
+	fmt.Println("strided DMA efficiency (the curve layout transformation optimizes against):")
+	for _, block := range []int{64, 128, 256, 512, 1024, 4096, 16384} {
+		r := sw26010.DMAStridedEfficiency(block, 1<<20/block)
+		fmt.Printf("  block %6d B: %6.2f GB/s (%.0f%% of stream)\n",
+			block, r.GBperSecond, r.GBperSecond/triad.GBperSecond*100)
+	}
+
+	fmt.Println("\nspm_gemm micro-kernel roofline (column-major, vecM):")
+	for _, sz := range []int{32, 64, 128, 256, 512} {
+		spec := primitives.GemmSpec{M: sz, N: sz, K: sz, LDA: sz, LDB: sz, LDC: sz}
+		t, err := primitives.GemmTime(spec)
+		if err != nil {
+			panic(err)
+		}
+		gf := float64(spec.FLOPs()) / t / 1e9
+		fmt.Printf("  %4d³: %8.2f µs  %7.1f GFLOPS (%.0f%% of CG peak)\n",
+			sz, t*1e6, gf, gf/sw26010.PeakGFlops*100)
+	}
+}

@@ -1,0 +1,3 @@
+module swatop
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package autotune implements swATOP's autotuner (§4.6) and the black-box
+// baseline it is compared against (Table 3, Fig. 9).
+//
+// Both tuners walk the same schedule space and compile every candidate. The
+// black-box tuner *runs* every candidate on the (simulated) machine and
+// picks the measured best; the model-based tuner *predicts* every candidate
+// with the static performance model and runs only its top pick. The ledger
+// tracks both host wall time and consumed machine time — the latter charges
+// the black-box tuner the per-candidate compile+launch overhead a real
+// SW26010 batch system imposes, which is where "from days to minutes"
+// comes from.
+package autotune
+
+import (
+	"fmt"
+	"time"
+
+	"swatop/internal/costmodel"
+	"swatop/internal/dsl"
+	"swatop/internal/exec"
+	"swatop/internal/ir"
+	"swatop/internal/schedule"
+)
+
+// CompileLaunchOverheadSeconds is the per-candidate cost of compiling,
+// linking and launching one schedule on the real machine (batch queue and
+// sw5cc invocation; ~40 s matches Table 3's hours-per-~400-candidates).
+const CompileLaunchOverheadSeconds = 40.0
+
+// Operator is anything tunable: it exposes its schedule seed and space and
+// compiles one strategy into an executable program. Single-nest operators
+// use core.Compile; multi-phase operators (Winograd, explicit convolution)
+// compose their own programs.
+type Operator interface {
+	Name() string
+	Seed() *dsl.Seed
+	Space() *dsl.Space
+	Compile(st dsl.Strategy) (*ir.Program, error)
+}
+
+// Candidate is one compiled schedule.
+type Candidate struct {
+	Strategy  dsl.Strategy
+	Program   *ir.Program
+	Predicted float64 // model estimate (model-based tuner)
+	Measured  float64 // simulated run time (when run)
+}
+
+// Result reports a tuning session.
+type Result struct {
+	Best Candidate
+	// SpaceSize is the number of raw schedule points; Valid is how many
+	// compiled successfully (the paper's "space size" column).
+	SpaceSize int
+	Valid     int
+	// WallSeconds is host time spent tuning.
+	WallSeconds float64
+	// MachineSeconds is simulated SW26010 time consumed: per-candidate
+	// compile+launch+run for the black-box tuner, one launch for swATOP.
+	MachineSeconds float64
+}
+
+// TopK is how many of the model's best predictions the tuner actually runs
+// before picking the winner (§4.6: "predict and pick best (or top k)
+// implementations"). Running a small k erases most of the model's residual
+// ranking error at negligible machine cost.
+const TopK = 3
+
+// ModelBased runs swATOP's performance-model autotuner: estimate every
+// valid candidate, run the top-k predictions, keep the measured best.
+func ModelBased(op Operator, model *costmodel.GemmModel) (Result, error) {
+	t0 := time.Now()
+	strategies, err := schedule.Enumerate(op.Seed(), op.Space())
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{SpaceSize: len(strategies)}
+	var top []*Candidate // ascending by prediction, at most TopK
+	for _, st := range strategies {
+		prog, err := op.Compile(st)
+		if err != nil {
+			continue // invalid point (capacity, layout rules, ...)
+		}
+		res.Valid++
+		est, err := costmodel.EstimateProgram(model, prog)
+		if err != nil {
+			return Result{}, fmt.Errorf("estimate %s: %w", st, err)
+		}
+		c := &Candidate{Strategy: st, Program: prog, Predicted: est.Total()}
+		pos := len(top)
+		for pos > 0 && top[pos-1].Predicted > c.Predicted {
+			pos--
+		}
+		if pos < TopK {
+			top = append(top, nil)
+			copy(top[pos+1:], top[pos:])
+			top[pos] = c
+			if len(top) > TopK {
+				top = top[:TopK]
+			}
+		}
+	}
+	if len(top) == 0 {
+		return Result{}, fmt.Errorf("autotune %s: no valid schedule in space of %d", op.Name(), len(strategies))
+	}
+	// The k finalists are emitted into one binary and measured in a single
+	// batch job: one compile+launch, k short runs.
+	res.MachineSeconds = CompileLaunchOverheadSeconds
+	var best *Candidate
+	for _, c := range top {
+		secs, err := runTimed(c.Program)
+		if err != nil {
+			return Result{}, fmt.Errorf("autotune %s: candidate failed to run: %w", op.Name(), err)
+		}
+		c.Measured = secs
+		res.MachineSeconds += secs
+		if best == nil || c.Measured < best.Measured {
+			best = c
+		}
+	}
+	res.Best = *best
+	res.WallSeconds = time.Since(t0).Seconds()
+	return res, nil
+}
+
+// BlackBox runs every valid candidate on the simulator and picks the
+// measured best — the brute-force baseline.
+func BlackBox(op Operator) (Result, error) {
+	t0 := time.Now()
+	strategies, err := schedule.Enumerate(op.Seed(), op.Space())
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{SpaceSize: len(strategies)}
+	var best *Candidate
+	for _, st := range strategies {
+		prog, err := op.Compile(st)
+		if err != nil {
+			continue
+		}
+		res.Valid++
+		secs, err := runTimed(prog)
+		if err != nil {
+			return Result{}, fmt.Errorf("blackbox %s: %s: %w", op.Name(), st, err)
+		}
+		res.MachineSeconds += CompileLaunchOverheadSeconds + secs
+		if best == nil || secs < best.Measured {
+			best = &Candidate{Strategy: st, Program: prog, Measured: secs}
+		}
+	}
+	if best == nil {
+		return Result{}, fmt.Errorf("blackbox %s: no valid schedule", op.Name())
+	}
+	res.Best = *best
+	res.WallSeconds = time.Since(t0).Seconds()
+	return res, nil
+}
+
+func runTimed(prog *ir.Program) (float64, error) {
+	binds, err := exec.BindVirtual(prog)
+	if err != nil {
+		return 0, err
+	}
+	r, err := exec.Run(prog, binds, exec.Options{Functional: false, FastLoops: true})
+	if err != nil {
+		return 0, err
+	}
+	return r.Seconds, nil
+}

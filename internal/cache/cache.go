@@ -1,0 +1,153 @@
+// Package cache implements swATOP's deployment modes (§1: "swATOP can be
+// used as an offline compiler by pre-generating near-optimal executable
+// code, or be integrated into other frameworks to provide online
+// autotuning"): a persistent schedule library that maps operator
+// signatures to tuned strategies, so a DL framework tunes each shape once
+// and compiles from the cache afterwards.
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+)
+
+// Entry is one cached tuning result.
+type Entry struct {
+	// Signature identifies the operator instance (name encodes shape).
+	Signature string `json:"signature"`
+	// Strategy fields (Strategy itself carries maps; serialized fully).
+	Factors      map[string]int   `json:"factors"`
+	Order        []string         `json:"order,omitempty"`
+	Layouts      map[string][]int `json:"layouts,omitempty"`
+	VecN         bool             `json:"vec_n,omitempty"`
+	DoubleBuffer bool             `json:"double_buffer"`
+	Traditional  bool             `json:"traditional_padding,omitempty"`
+	// SimulatedSeconds records the measured performance at tuning time.
+	SimulatedSeconds float64 `json:"simulated_seconds"`
+	// SpaceSize records how many candidates the tuner considered.
+	SpaceSize int `json:"space_size"`
+}
+
+// Strategy reconstructs the dsl.Strategy.
+func (e Entry) Strategy() dsl.Strategy {
+	vec := ir.VecM
+	if e.VecN {
+		vec = ir.VecN
+	}
+	pad := dsl.PadLightweight
+	if e.Traditional {
+		pad = dsl.PadTraditional
+	}
+	return dsl.Strategy{
+		Factors:      e.Factors,
+		Order:        e.Order,
+		Layouts:      e.Layouts,
+		Vec:          vec,
+		DoubleBuffer: e.DoubleBuffer,
+		Padding:      pad,
+	}
+}
+
+// FromStrategy builds an entry.
+func FromStrategy(signature string, st dsl.Strategy, seconds float64, spaceSize int) Entry {
+	return Entry{
+		Signature:        signature,
+		Factors:          st.Factors,
+		Order:            st.Order,
+		Layouts:          st.Layouts,
+		VecN:             st.Vec == ir.VecN,
+		DoubleBuffer:     st.DoubleBuffer,
+		Traditional:      st.Padding == dsl.PadTraditional,
+		SimulatedSeconds: seconds,
+		SpaceSize:        spaceSize,
+	}
+}
+
+// Library is a concurrency-safe schedule cache.
+type Library struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewLibrary creates an empty library.
+func NewLibrary() *Library {
+	return &Library{entries: map[string]Entry{}}
+}
+
+// Get looks up a tuned schedule.
+func (l *Library) Get(signature string) (Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.entries[signature]
+	return e, ok
+}
+
+// Put stores a tuned schedule, keeping the faster entry on collision.
+func (l *Library) Put(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old, ok := l.entries[e.Signature]; ok && old.SimulatedSeconds <= e.SimulatedSeconds {
+		return
+	}
+	l.entries[e.Signature] = e
+}
+
+// Len reports the number of cached schedules.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Signatures lists cached operator signatures, sorted.
+func (l *Library) Signatures() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.entries))
+	for s := range l.entries {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes the library as JSON.
+func (l *Library) Save(path string) error {
+	l.mu.RLock()
+	list := make([]Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		list = append(list, e)
+	}
+	l.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Signature < list[j].Signature })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a library from JSON, merging into the receiver.
+func (l *Library) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var list []Entry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return fmt.Errorf("cache: %s: %w", path, err)
+	}
+	for _, e := range list {
+		if e.Signature == "" {
+			return fmt.Errorf("cache: %s: entry without signature", path)
+		}
+		l.Put(e)
+	}
+	return nil
+}

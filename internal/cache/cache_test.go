@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+)
+
+func sampleStrategy() dsl.Strategy {
+	return dsl.Strategy{
+		Factors:      map[string]int{"m": 64, "n": 128, "k": 256},
+		Order:        []string{"m", "n", "k"},
+		Layouts:      map[string][]int{"C": {1, 0}},
+		Vec:          ir.VecN,
+		DoubleBuffer: true,
+		Padding:      dsl.PadTraditional,
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	st := sampleStrategy()
+	e := FromStrategy("gemm_1x2x3", st, 0.5, 42)
+	back := e.Strategy()
+	if back.String() != st.String() {
+		t.Fatalf("round trip changed strategy:\n%s\n%s", st, back)
+	}
+}
+
+func TestLibraryPutGetCollision(t *testing.T) {
+	l := NewLibrary()
+	if _, ok := l.Get("x"); ok {
+		t.Fatal("empty library should miss")
+	}
+	l.Put(FromStrategy("x", sampleStrategy(), 2.0, 10))
+	l.Put(FromStrategy("x", sampleStrategy(), 1.0, 10)) // faster: replaces
+	l.Put(FromStrategy("x", sampleStrategy(), 3.0, 10)) // slower: ignored
+	e, ok := l.Get("x")
+	if !ok || e.SimulatedSeconds != 1.0 {
+		t.Fatalf("collision policy wrong: %+v", e)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestLibrarySaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schedules.json")
+	l := NewLibrary()
+	l.Put(FromStrategy("a", sampleStrategy(), 1.5, 7))
+	l.Put(FromStrategy("b", sampleStrategy(), 2.5, 9))
+	if err := l.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewLibrary()
+	if err := l2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("loaded %d entries", l2.Len())
+	}
+	sigs := l2.Signatures()
+	if len(sigs) != 2 || sigs[0] != "a" || sigs[1] != "b" {
+		t.Fatalf("signatures = %v", sigs)
+	}
+	e, _ := l2.Get("a")
+	if e.Strategy().String() != sampleStrategy().String() {
+		t.Fatal("loaded strategy differs")
+	}
+}
+
+func TestLibraryLoadErrors(t *testing.T) {
+	l := NewLibrary()
+	if err := l.Load("/nonexistent/schedules.json"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Load(bad); err == nil {
+		t.Fatal("corrupt file must error")
+	}
+	noSig := filepath.Join(dir, "nosig.json")
+	if err := os.WriteFile(noSig, []byte(`[{"factors":{}}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Load(noSig); err == nil {
+		t.Fatal("entry without signature must error")
+	}
+}

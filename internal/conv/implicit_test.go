@@ -1,0 +1,143 @@
+package conv
+
+import (
+	"testing"
+
+	"swatop/internal/dsl"
+	"swatop/internal/exec"
+	"swatop/internal/ir"
+	"swatop/internal/tensor"
+)
+
+func implicitStrategy(fno, fni, fco int, vec ir.VecDim, outLayout []int) dsl.Strategy {
+	return dsl.Strategy{
+		Factors:      map[string]int{"no": fno, "ni": fni, "co": fco, "b": 0},
+		Order:        []string{"ro", "co", "no", "kr", "kc", "ni"},
+		Layouts:      map[string][]int{"out": outLayout},
+		Vec:          vec,
+		DoubleBuffer: true,
+	}
+}
+
+// runImplicit compiles, runs functionally and checks against the direct
+// convolution oracle. The strategy's b factor is patched to the full batch.
+func runImplicit(t *testing.T, s Shape, st dsl.Strategy) exec.Result {
+	t.Helper()
+	st.Factors["b"] = s.B
+	op, err := NewImplicitOp(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := op.Compile(st)
+	if err != nil {
+		t.Fatalf("compile %v: %v", st, err)
+	}
+	binds, err := Bind(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(prog, binds, exec.Options{Functional: true})
+	if err != nil {
+		t.Fatalf("exec %v: %v\n%s", st, err, ir.Print(prog))
+	}
+	want, err := tensor.ReferenceConv(binds["in"], binds["weight"], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := tensor.MaxAbsDiff(want, binds["out"]); d > 5e-2 {
+		t.Fatalf("strategy %v: differs from direct conv by %g", st, d)
+	}
+	return res
+}
+
+func TestImplicitConvBasic(t *testing.T) {
+	s := Shape{B: 4, Ni: 16, No: 16, Ro: 6, Co: 6, Kr: 3, Kc: 3}
+	runImplicit(t, s, implicitStrategy(16, 16, 2, ir.VecN, []int{0, 1, 2, 3}))
+}
+
+func TestImplicitConvOutputLayouts(t *testing.T) {
+	s := Shape{B: 4, Ni: 16, No: 16, Ro: 6, Co: 6, Kr: 3, Kc: 3}
+	// Batch-fastest output (transposed-C path) and No-fastest output.
+	runImplicit(t, s, implicitStrategy(16, 16, 2, ir.VecN, []int{0, 1, 2, 3}))
+	runImplicit(t, s, implicitStrategy(16, 16, 2, ir.VecM, []int{1, 2, 3, 0}))
+}
+
+func TestImplicitConvInputWeightLayouts(t *testing.T) {
+	s := Shape{B: 4, Ni: 16, No: 16, Ro: 4, Co: 4, Kr: 3, Kc: 3}
+	for _, wl := range [][]int{{0, 1, 2, 3}, {1, 2, 3, 0}} {
+		for _, il := range [][]int{{0, 1, 2, 3}, {1, 2, 3, 0}} {
+			st := implicitStrategy(16, 16, 2, ir.VecN, []int{0, 1, 2, 3})
+			st.Layouts["weight"] = wl
+			st.Layouts["in"] = il
+			runImplicit(t, s, st)
+		}
+	}
+}
+
+func TestImplicitConvBoundaryTiles(t *testing.T) {
+	// Ni=24 with tile 16 → K boundary; No=20 with tile 16 → M boundary;
+	// Co=5 with fusion 2 → N boundary (and a 5th odd column).
+	s := Shape{B: 4, Ni: 24, No: 20, Ro: 5, Co: 5, Kr: 3, Kc: 3}
+	runImplicit(t, s, implicitStrategy(16, 16, 2, ir.VecN, []int{0, 1, 2, 3}))
+	runImplicit(t, s, implicitStrategy(16, 16, 2, ir.VecM, []int{1, 2, 3, 0}))
+}
+
+func TestImplicitConvBatchOne(t *testing.T) {
+	// The inference case swDNN has no manual implementation for: N comes
+	// entirely from column fusion.
+	s := Shape{B: 1, Ni: 16, No: 16, Ro: 8, Co: 8, Kr: 3, Kc: 3}
+	runImplicit(t, s, implicitStrategy(16, 16, 4, ir.VecN, []int{0, 1, 2, 3}))
+}
+
+func TestImplicitConv1x1Kernel(t *testing.T) {
+	// ResNet's 1×1 convolutions: no reduce loops at all.
+	s := Shape{B: 4, Ni: 32, No: 16, Ro: 4, Co: 4, Kr: 1, Kc: 1}
+	runImplicit(t, s, implicitStrategy(16, 16, 2, ir.VecN, []int{0, 1, 2, 3}))
+}
+
+func TestImplicitRejectsTinyNi(t *testing.T) {
+	if _, err := NewImplicitOp(Shape{B: 1, Ni: 3, No: 16, Ro: 4, Co: 4, Kr: 3, Kc: 3}); err == nil {
+		t.Fatal("Ni=3 must be rejected (first-layer exclusion)")
+	}
+}
+
+func TestImplicitFusionWidensGemm(t *testing.T) {
+	s := Shape{B: 4, Ni: 16, No: 16, Ro: 8, Co: 8, Kr: 3, Kc: 3}
+	narrow := runImplicit(t, s, implicitStrategy(16, 16, 1, ir.VecN, []int{0, 1, 2, 3}))
+	wide := runImplicit(t, s, implicitStrategy(16, 16, 4, ir.VecN, []int{0, 1, 2, 3}))
+	if wide.Counters.GemmCalls >= narrow.Counters.GemmCalls {
+		t.Fatalf("fusion should reduce GEMM call count: %d vs %d",
+			wide.Counters.GemmCalls, narrow.Counters.GemmCalls)
+	}
+	if wide.Seconds >= narrow.Seconds {
+		t.Fatalf("fusion should pay off here: wide %.3g vs narrow %.3g", wide.Seconds, narrow.Seconds)
+	}
+}
+
+func TestImplicitFastLoopsCloseToExact(t *testing.T) {
+	s := Shape{B: 4, Ni: 32, No: 32, Ro: 16, Co: 16, Kr: 3, Kc: 3}
+	op, err := NewImplicitOp(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := implicitStrategy(32, 32, 2, ir.VecN, []int{0, 1, 2, 3})
+	st.Factors["b"] = s.B
+	prog, err := op.Compile(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv1, _ := exec.BindVirtual(prog)
+	exact, err := exec.Run(prog, bv1, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv2, _ := exec.BindVirtual(prog)
+	fast, err := exec.Run(prog, bv2, exec.Options{FastLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := fast.Seconds/exact.Seconds - 1
+	if rel < -0.05 || rel > 0.05 {
+		t.Fatalf("fast-loop time %.4g vs exact %.4g (%.1f%% off)", fast.Seconds, exact.Seconds, rel*100)
+	}
+}

@@ -1,0 +1,43 @@
+// Package core is swATOP's compilation pipeline (Fig. 3): it takes a DSL
+// schedule seed and one schedule strategy, lowers them to IR, and applies
+// the IR optimizations (auto-prefetching, DMA inference) in order. The
+// scheduler/autotuner packages drive it over whole schedule spaces.
+package core
+
+import (
+	"fmt"
+
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+	"swatop/internal/lower"
+	"swatop/internal/optimizer"
+)
+
+// Compile produces the optimized IR program for one schedule strategy.
+func Compile(seed *dsl.Seed, st dsl.Strategy) (*ir.Program, error) {
+	var prog *ir.Program
+	var err error
+	switch st.Padding {
+	case dsl.PadTraditional:
+		prog, err = lower.LowerPadded(seed, st)
+	default:
+		prog, err = lower.Lower(seed, st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Optimize(prog, st)
+}
+
+// Optimize applies the IR optimizer passes to a lowered program. It is
+// exposed separately so multi-phase operators (Winograd, explicit conv) can
+// compose nests before optimizing.
+func Optimize(prog *ir.Program, st dsl.Strategy) (*ir.Program, error) {
+	if st.DoubleBuffer {
+		if err := optimizer.InjectPrefetch(prog); err != nil {
+			return nil, fmt.Errorf("prefetch: %w", err)
+		}
+	}
+	optimizer.InferDMA(prog)
+	return prog, nil
+}

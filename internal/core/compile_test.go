@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+
+	"swatop/internal/core"
+	"swatop/internal/dsl"
+	"swatop/internal/gemm"
+	"swatop/internal/ir"
+)
+
+func strategy(pad dsl.PaddingMode, db bool) dsl.Strategy {
+	return dsl.Strategy{
+		Factors:      map[string]int{"m": 32, "n": 32, "k": 32},
+		Order:        []string{"m", "n", "k"},
+		Layouts:      map[string][]int{"C": {1, 0}},
+		Vec:          ir.VecM,
+		DoubleBuffer: db,
+		Padding:      pad,
+	}
+}
+
+func TestCompilePipelineOrder(t *testing.T) {
+	seed, err := gemm.Seed(gemm.Params{M: 96, N: 96, K: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(seed, strategy(dsl.PadLightweight, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the full pipeline: no RegionMoves remain, DMA ops/waits are
+	// balanced, prefetching artifacts exist.
+	if n := ir.CountKind(prog.Body, func(s ir.Stmt) bool { _, ok := s.(*ir.RegionMove); return ok }); n != 0 {
+		t.Fatalf("%d RegionMoves left after Compile", n)
+	}
+	ops := ir.CountKind(prog.Body, func(s ir.Stmt) bool { _, ok := s.(*ir.DMAOp); return ok })
+	if ops == 0 {
+		t.Fatal("no DMA ops emitted")
+	}
+	sawNext := false
+	ir.Walk(prog.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok && len(a.Var) > 3 && a.Var[:3] == "nx_" {
+			sawNext = true
+		}
+		return true
+	})
+	if !sawNext {
+		t.Fatal("prefetching was not applied")
+	}
+}
+
+func TestCompileWithoutPrefetch(t *testing.T) {
+	seed, _ := gemm.Seed(gemm.Params{M: 64, N: 64, K: 64})
+	prog, err := core.Compile(seed, strategy(dsl.PadLightweight, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.Walk(prog.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok && len(a.Var) > 3 && a.Var[:3] == "nx_" {
+			t.Fatal("prefetching applied despite DoubleBuffer=false")
+		}
+		return true
+	})
+}
+
+func TestCompileTraditionalPadding(t *testing.T) {
+	seed, _ := gemm.Seed(gemm.Params{M: 50, N: 44, K: 38})
+	prog, err := core.Compile(seed, strategy(dsl.PadTraditional, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := 0
+	for _, d := range prog.Tensors {
+		if d.Scratch {
+			scratch++
+		}
+	}
+	if scratch != 3 {
+		t.Fatalf("traditional padding should add 3 padded workspaces, got %d", scratch)
+	}
+}
+
+func TestCompileInvalidStrategy(t *testing.T) {
+	seed, _ := gemm.Seed(gemm.Params{M: 64, N: 64, K: 64})
+	st := strategy(dsl.PadLightweight, true)
+	st.Factors["m"] = 999
+	if _, err := core.Compile(seed, st); err == nil {
+		t.Fatal("invalid factor must be rejected")
+	}
+}

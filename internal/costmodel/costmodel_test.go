@@ -1,0 +1,216 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"swatop/internal/core"
+	"swatop/internal/dsl"
+	"swatop/internal/exec"
+	"swatop/internal/gemm"
+	"swatop/internal/ir"
+	"swatop/internal/primitives"
+	"swatop/internal/tensor"
+)
+
+var fitted *GemmModel
+
+func model(t *testing.T) *GemmModel {
+	t.Helper()
+	if fitted == nil {
+		m, err := FitGemmModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitted = m
+	}
+	return fitted
+}
+
+func TestLeastSquaresRecoversExact(t *testing.T) {
+	// y = 3a + 2b - c + 5 exactly.
+	truth := [4]float64{3, 2, -1, 5}
+	var rows [][4]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		r := [4]float64{float64(i % 7), float64((i * 3) % 5), float64((i * 7) % 11), 1}
+		rows = append(rows, r)
+		ys = append(ys, truth[0]*r[0]+truth[1]*r[1]+truth[2]*r[2]+truth[3])
+	}
+	got, err := leastSquares4(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(got[i]-truth[i]) > 1e-9 {
+			t.Fatalf("coef %d = %g, want %g", i, got[i], truth[i])
+		}
+	}
+}
+
+func TestLeastSquaresSingular(t *testing.T) {
+	rows := [][4]float64{{1, 1, 0, 0}, {2, 2, 0, 0}, {3, 3, 0, 0}, {4, 4, 0, 0}}
+	if _, err := leastSquares4(rows, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("collinear design must be reported singular")
+	}
+	if _, err := leastSquares4(rows[:2], []float64{1, 2}); err == nil {
+		t.Fatal("underdetermined system must error")
+	}
+}
+
+func TestGemmModelAccuracyOnAlignedShapes(t *testing.T) {
+	m := model(t)
+	// On mesh-aligned shapes the fit should be within a few percent.
+	for _, sz := range [][3]int{{64, 64, 64}, {128, 128, 128}, {256, 128, 64}, {96, 192, 128}} {
+		spec := primitives.GemmSpec{
+			M: sz[0], N: sz[1], K: sz[2],
+			LDA: sz[0], LDB: sz[2], LDC: sz[0],
+		}
+		truth, err := primitives.GemmTime(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := m.Predict(sz[0], sz[1], sz[2], false, false, ir.VecM)
+		rel := math.Abs(pred-truth) / truth
+		if rel > 0.10 {
+			t.Errorf("shape %v: model off by %.1f%% (pred %.3g, truth %.3g)", sz, rel*100, pred, truth)
+		}
+	}
+}
+
+func TestGemmModelMispredictsRemainders(t *testing.T) {
+	// Unaligned shapes carry remainder penalties the linear basis cannot
+	// express: the model should err noticeably more there (that is the
+	// designed model-vs-hardware gap of Fig. 9).
+	m := model(t)
+	spec := primitives.GemmSpec{M: 132, N: 124, K: 100, LDA: 132, LDB: 100, LDC: 132}
+	truth, err := primitives.GemmTime(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(132, 124, 100, false, false, ir.VecM)
+	if pred == truth {
+		t.Fatal("model should not be exact on unaligned shapes")
+	}
+}
+
+func TestDMATimeTransactionModel(t *testing.T) {
+	// One aligned 128-byte block: exactly one transaction.
+	one := DMATime([]tensor.Blocks{{Offset: 0, Block: 32, Stride: 32, Count: 1}})
+	// Misaligned 32-float block spanning two transactions.
+	two := DMATime([]tensor.Blocks{{Offset: 16, Block: 32, Stride: 32, Count: 1}})
+	if two <= one {
+		t.Fatal("misaligned block must touch more transactions")
+	}
+	// Bandwidth term scales with count (the single-block time is
+	// startup-dominated, so compare against a generous multiple).
+	many := DMATime([]tensor.Blocks{{Offset: 0, Block: 32, Stride: 64, Count: 1000}})
+	if many <= 5*one {
+		t.Fatal("many blocks must cost much more than one")
+	}
+}
+
+func compileGemm(t *testing.T, p gemm.Params, st dsl.Strategy) *ir.Program {
+	t.Helper()
+	seed, err := gemm.Seed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(seed, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func gemmStrategy(fm, fn, fk int) dsl.Strategy {
+	return dsl.Strategy{
+		Factors:      map[string]int{"m": fm, "n": fn, "k": fk},
+		Order:        []string{"m", "n", "k"},
+		Layouts:      map[string][]int{"C": {1, 0}},
+		Vec:          ir.VecM,
+		DoubleBuffer: true,
+	}
+}
+
+func TestEstimateVsSimulator(t *testing.T) {
+	// The estimator must land within ~35% of the simulator on healthy
+	// schedules — close enough to rank candidates, imperfect by design.
+	m := model(t)
+	for _, cfg := range []struct {
+		p  gemm.Params
+		st dsl.Strategy
+	}{
+		{gemm.Params{M: 256, N: 256, K: 256}, gemmStrategy(64, 64, 64)},
+		{gemm.Params{M: 512, N: 128, K: 256}, gemmStrategy(128, 64, 128)},
+		{gemm.Params{M: 200, N: 200, K: 200}, gemmStrategy(64, 64, 64)},
+	} {
+		prog := compileGemm(t, cfg.p, cfg.st)
+		est, err := EstimateProgram(m, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binds, err := gemm.Bind(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(prog, binds, exec.Options{Functional: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(est.Total()-res.Seconds) / res.Seconds
+		if rel > 0.35 {
+			t.Errorf("%v %v: estimate %.3g vs simulated %.3g (%.0f%% off)",
+				cfg.p, cfg.st, est.Total(), res.Seconds, rel*100)
+		}
+	}
+}
+
+func TestEstimatorRanksTileSizes(t *testing.T) {
+	// What matters for tuning is ranking: tiny tiles must be predicted
+	// slower than healthy tiles, as the simulator agrees.
+	m := model(t)
+	p := gemm.Params{M: 256, N: 256, K: 256}
+	tiny := compileGemm(t, p, gemmStrategy(8, 8, 16))
+	good := compileGemm(t, p, gemmStrategy(128, 128, 128))
+	et, err := EstimateProgram(m, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := EstimateProgram(m, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg.Total() >= et.Total() {
+		t.Fatalf("estimator ranks tiny tiles (%.3g) better than 128³ (%.3g)", et.Total(), eg.Total())
+	}
+}
+
+func TestEstimatorFastOnHugeProblems(t *testing.T) {
+	// The two-point loop evaluation must make estimation cheap even for
+	// 8192³ problems (the Listing-2 extreme).
+	m := model(t)
+	prog := compileGemm(t, gemm.Params{M: 8192, N: 8192, K: 8192}, gemmStrategy(256, 256, 256))
+	est, err := EstimateProgram(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total() <= 0 {
+		t.Fatal("estimate must be positive")
+	}
+}
+
+func TestEstimateSeparatesChannels(t *testing.T) {
+	m := model(t)
+	prog := compileGemm(t, gemm.Params{M: 256, N: 256, K: 256}, gemmStrategy(64, 64, 64))
+	est, err := EstimateProgram(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.DMA <= 0 || est.Compute <= 0 {
+		t.Fatalf("both channels must be populated: %+v", est)
+	}
+	if est.Total() != math.Max(est.DMA, est.Compute) {
+		t.Fatal("Total must be the channel max")
+	}
+}

@@ -1,0 +1,202 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"swatop/internal/ir"
+	"swatop/internal/primitives"
+	"swatop/internal/tensor"
+)
+
+// Estimate is the static performance prediction of a lowered+optimized
+// program: T_DMA and T_compute accumulated separately, combined as
+// T_overall = max(T_DMA, T_compute) (the paper's software-prefetching
+// overlap assumption).
+type Estimate struct {
+	DMA     float64
+	Compute float64
+}
+
+// Total returns max(DMA, Compute).
+func (e Estimate) Total() float64 {
+	if e.DMA > e.Compute {
+		return e.DMA
+	}
+	return e.Compute
+}
+
+// Estimator predicts program run time without executing it. Loops are
+// evaluated at two points — the first and the last iteration — and interior
+// iterations are assumed uniform with the first; this is exact for swATOP's
+// lowered nests (only boundary tiles differ) and makes prediction cost
+// logarithmic in the iteration count instead of linear, which is where the
+// "days to minutes" tuning speedup (Table 3) comes from.
+type Estimator struct {
+	Model *GemmModel
+
+	tensors map[string]*tensor.Tensor // virtual: shapes and strides only
+	env     ir.Env
+}
+
+// NewEstimator prepares an estimator for a program's operand shapes.
+func NewEstimator(model *GemmModel, p *ir.Program) (*Estimator, error) {
+	est := &Estimator{Model: model, tensors: map[string]*tensor.Tensor{}, env: ir.Env{}}
+	for _, d := range p.Tensors {
+		layout := d.Layout
+		if layout == nil {
+			layout = make([]int, len(d.Dims))
+			for i := range layout {
+				layout[i] = i
+			}
+		}
+		t, err := tensor.NewVirtual(d.Name, d.Dims, layout)
+		if err != nil {
+			return nil, err
+		}
+		est.tensors[d.Name] = t
+	}
+	return est, nil
+}
+
+// EstimateProgram predicts a whole program.
+func EstimateProgram(model *GemmModel, p *ir.Program) (Estimate, error) {
+	est, err := NewEstimator(model, p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return est.block(p.Body)
+}
+
+func (e *Estimator) block(body []ir.Stmt) (Estimate, error) {
+	var acc Estimate
+	for _, s := range body {
+		st, err := e.stmt(s)
+		if err != nil {
+			return Estimate{}, err
+		}
+		acc.DMA += st.DMA
+		acc.Compute += st.Compute
+	}
+	return acc, nil
+}
+
+func (e *Estimator) stmt(s ir.Stmt) (Estimate, error) {
+	switch x := s.(type) {
+	case *ir.Comment, *ir.AllocSPM, *ir.FreeSPM, *ir.DMAWait:
+		// Waits are free under the perfect-overlap assumption.
+		return Estimate{}, nil
+	case *ir.Assign:
+		e.env[x.Var] = x.Val.Eval(e.env)
+		return Estimate{}, nil
+	case *ir.If:
+		if x.Cond.Eval(e.env) {
+			return e.block(x.Then)
+		}
+		return e.block(x.Else)
+	case *ir.For:
+		return e.loop(x)
+	case *ir.RegionMove:
+		return e.dma(x)
+	case *ir.DMAOp:
+		return e.dma(&x.Move)
+	case *ir.Gemm:
+		m := int(x.M.Eval(e.env))
+		n := int(x.N.Eval(e.env))
+		k := int(x.K.Eval(e.env))
+		return Estimate{Compute: e.Model.Predict(m, n, k, x.ATrans, x.BTrans, x.Vec)}, nil
+	case *ir.Transform:
+		return e.transform(x)
+	}
+	return Estimate{}, fmt.Errorf("estimator: unknown statement %T", s)
+}
+
+func (e *Estimator) loop(f *ir.For) (Estimate, error) {
+	extent := f.Extent.Eval(e.env)
+	if extent <= 0 {
+		return Estimate{}, nil
+	}
+	saved, had := e.env[f.Iter]
+	defer func() {
+		if had {
+			e.env[f.Iter] = saved
+		} else {
+			delete(e.env, f.Iter)
+		}
+	}()
+
+	e.env[f.Iter] = 0
+	first, err := e.block(f.Body)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if extent == 1 {
+		return first, nil
+	}
+	e.env[f.Iter] = extent - 1
+	last, err := e.block(f.Body)
+	if err != nil {
+		return Estimate{}, err
+	}
+	interior := float64(extent - 1)
+	return Estimate{
+		DMA:     first.DMA*interior + last.DMA,
+		Compute: first.Compute*interior + last.Compute,
+	}, nil
+}
+
+func (e *Estimator) dma(mv *ir.RegionMove) (Estimate, error) {
+	t, ok := e.tensors[mv.Tensor]
+	if !ok {
+		return Estimate{}, fmt.Errorf("estimator: unknown tensor %q", mv.Tensor)
+	}
+	nd := t.Rank()
+	start := make([]int, nd)
+	extent := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		start[d] = int(mv.Start[d].Eval(e.env))
+		extent[d] = int(mv.Extent[d].Eval(e.env))
+	}
+	region, err := tensor.NewRegion(t, start, extent)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("estimator: %s: %w", mv.Tensor, err)
+	}
+	blocks, err := region.FlattenMulti(t)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{DMA: DMATime(blocks)}, nil
+}
+
+func (e *Estimator) transform(x *ir.Transform) (Estimate, error) {
+	switch x.Kind {
+	case ir.ZeroFill:
+		return Estimate{Compute: primitives.ZeroFillTime(int(x.Args[0].Eval(e.env)))}, nil
+	case ir.CopySPM:
+		return Estimate{Compute: primitives.CopySPMTime(int(x.Args[0].Eval(e.env)))}, nil
+	case ir.WinoInputTile, ir.WinoFilterTile, ir.WinoOutputTile:
+		phase := map[ir.TransformKind]string{
+			ir.WinoInputTile: "input", ir.WinoFilterTile: "filter", ir.WinoOutputTile: "output",
+		}[x.Kind]
+		t, err := primitives.WinoTransformTime(phase, int(x.Args[0].Eval(e.env)))
+		if err != nil {
+			return Estimate{}, err
+		}
+		return Estimate{Compute: t}, nil
+	case ir.WinoInputSlab, ir.WinoOutputSlab:
+		nslabs := int(x.Args[0].Eval(e.env))
+		tilesC := int(x.Args[1].Eval(e.env))
+		phase := "input"
+		bIdx := 3
+		if x.Kind == ir.WinoOutputSlab {
+			phase = "output"
+			bIdx = 2
+		}
+		b := int(x.Args[bIdx].Eval(e.env))
+		t, err := primitives.WinoSlabTime(phase, nslabs*tilesC*b)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return Estimate{Compute: t}, nil
+	}
+	return Estimate{}, fmt.Errorf("estimator: unknown transform %v", x.Kind)
+}

@@ -1,0 +1,586 @@
+// Package exec interprets IR programs against the simulated SW26010 core
+// group. It has two modes sharing one timing path:
+//
+//   - functional: data movement and primitives operate on real float32
+//     data, so results can be checked against oracles;
+//   - timed-only: arithmetic is skipped, only the clock and counters
+//     advance — fast enough for the black-box autotuner to "run" hundreds
+//     of schedule candidates.
+//
+// Timing is identical in both modes (the simulator is deterministic), so
+// the black-box tuner's choice never depends on the mode.
+package exec
+
+import (
+	"fmt"
+
+	"swatop/internal/ir"
+	"swatop/internal/primitives"
+	"swatop/internal/sw26010"
+	"swatop/internal/tensor"
+	"swatop/internal/trace"
+)
+
+// Options controls a run.
+type Options struct {
+	// Functional computes real data (slower); timed-only otherwise.
+	Functional bool
+	// FastLoops extrapolates long loops from a few simulated iterations
+	// (steady-state fast forward). Only valid with Functional=false; used
+	// by the black-box autotuner and large benchmark sweeps. swATOP's
+	// lowered nests have uniform interior iterations (only the last
+	// iteration differs through its min() boundary extents), so the
+	// extrapolation is near-exact.
+	FastLoops bool
+	// Trace, when non-nil, records the execution timeline (GEMM calls,
+	// transforms, DMA engine intervals) for schedule diagnosis.
+	Trace *trace.Log
+}
+
+// fastLoopThreshold is the minimum extent for fast-forwarding: iterations
+// 0..2 run, 3..E-2 are extrapolated from iteration 2, E-1 runs.
+const fastLoopThreshold = 10
+
+// Result reports a completed run.
+type Result struct {
+	// Seconds is the simulated execution time of the operator.
+	Seconds float64
+	// Counters are the machine's activity counters.
+	Counters sw26010.Counters
+}
+
+// Machine-level overheads of interpreted control flow.
+const (
+	loopIterCycles = 6.0
+	branchCycles   = 2.0
+	assignCycles   = 1.0
+)
+
+type state struct {
+	m       *sw26010.Machine
+	opt     Options
+	env     ir.Env
+	tensors map[string]*tensor.Tensor
+	spm     map[string]*sw26010.SPMBuffer
+	replies map[string]int // outstanding issue counts per reply word
+}
+
+// Run executes a program. binds maps non-scratch tensor names to concrete
+// tensors; scratch tensors are allocated internally; Output tensors are
+// zeroed first (operators accumulate from zero).
+func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, error) {
+	st := &state{
+		m:       sw26010.NewMachine(),
+		opt:     opt,
+		env:     ir.Env{},
+		tensors: map[string]*tensor.Tensor{},
+		spm:     map[string]*sw26010.SPMBuffer{},
+		replies: map[string]int{},
+	}
+	for _, decl := range p.Tensors {
+		if decl.Scratch {
+			layout := decl.Layout
+			if layout == nil {
+				layout = identityPerm(len(decl.Dims))
+			}
+			var t *tensor.Tensor
+			var err error
+			if opt.Functional {
+				t, err = tensor.NewWithLayout(decl.Name, decl.Dims, layout)
+			} else {
+				// Timed-only runs never touch data; keep big workspaces
+				// (im2col matrices, Winograd planes) virtual.
+				t, err = tensor.NewVirtual(decl.Name, decl.Dims, layout)
+			}
+			if err != nil {
+				return Result{}, fmt.Errorf("exec: scratch %s: %w", decl.Name, err)
+			}
+			st.tensors[decl.Name] = t
+			continue
+		}
+		t, ok := binds[decl.Name]
+		if !ok {
+			return Result{}, fmt.Errorf("exec: tensor %q not bound", decl.Name)
+		}
+		if len(t.Dims) != len(decl.Dims) {
+			return Result{}, fmt.Errorf("exec: tensor %q rank %d, declared %d", decl.Name, len(t.Dims), len(decl.Dims))
+		}
+		for d := range decl.Dims {
+			if t.Dims[d] != decl.Dims[d] {
+				return Result{}, fmt.Errorf("exec: tensor %q dims %v, declared %v", decl.Name, t.Dims, decl.Dims)
+			}
+		}
+		if decl.Layout != nil {
+			// The schedule chose a storage layout; the bound tensor must
+			// actually have it, or the DMA timing would be fiction.
+			want, err := tensor.NewVirtual(decl.Name, decl.Dims, decl.Layout)
+			if err != nil {
+				return Result{}, fmt.Errorf("exec: tensor %q: %w", decl.Name, err)
+			}
+			for d := range want.Strides {
+				if want.Strides[d] != t.Strides[d] {
+					return Result{}, fmt.Errorf("exec: tensor %q bound with strides %v, schedule chose layout %v (strides %v)",
+						decl.Name, t.Strides, decl.Layout, want.Strides)
+				}
+			}
+		}
+		if decl.Output && opt.Functional {
+			t.Zero()
+		}
+		st.tensors[decl.Name] = t
+	}
+	if p.DispatchOverheadSeconds > 0 {
+		st.m.AdvanceCompute(p.DispatchOverheadSeconds)
+	}
+	if err := st.run(p.Body); err != nil {
+		return Result{}, fmt.Errorf("exec %s: %w", p.Name, err)
+	}
+	if n := st.m.OutstandingDMA(); n != 0 {
+		return Result{}, fmt.Errorf("exec %s: %d DMA transfers never waited for", p.Name, n)
+	}
+	return Result{Seconds: st.m.Elapsed(), Counters: st.m.Counters}, nil
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// BindVirtual builds data-less operand bindings matching a program's
+// declarations and chosen layouts. Timed-only runs (autotuning, large
+// benchmarks) never touch tensor data, so no storage is allocated.
+func BindVirtual(p *ir.Program) (map[string]*tensor.Tensor, error) {
+	binds := map[string]*tensor.Tensor{}
+	for _, decl := range p.Tensors {
+		if decl.Scratch {
+			continue
+		}
+		layout := decl.Layout
+		if layout == nil {
+			layout = identityPerm(len(decl.Dims))
+		}
+		t, err := tensor.NewVirtual(decl.Name, decl.Dims, layout)
+		if err != nil {
+			return nil, err
+		}
+		binds[decl.Name] = t
+	}
+	return binds, nil
+}
+
+func (st *state) run(body []ir.Stmt) error {
+	for _, s := range body {
+		if err := st.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *state) stmt(s ir.Stmt) error {
+	switch x := s.(type) {
+	case *ir.Comment:
+		return nil
+	case *ir.Assign:
+		st.env[x.Var] = x.Val.Eval(st.env)
+		st.m.AdvanceCompute(sw26010.Seconds(assignCycles))
+		return nil
+	case *ir.For:
+		extent := x.Extent.Eval(st.env)
+		if extent < 0 {
+			return fmt.Errorf("loop %s: negative extent %d", x.Iter, extent)
+		}
+		saved, had := st.env[x.Iter]
+		iter := func(i int64) error {
+			st.env[x.Iter] = i
+			st.m.AdvanceCompute(sw26010.Seconds(loopIterCycles))
+			return st.run(x.Body)
+		}
+		if st.opt.FastLoops && !st.opt.Functional && extent >= fastLoopThreshold {
+			for i := int64(0); i < 2; i++ {
+				if err := iter(i); err != nil {
+					return err
+				}
+			}
+			snap := st.m.Snapshot()
+			if err := iter(2); err != nil {
+				return err
+			}
+			st.m.FastForward(snap, extent-4) // skip 3 .. extent-2
+			if err := iter(extent - 1); err != nil {
+				return err
+			}
+		} else {
+			for i := int64(0); i < extent; i++ {
+				if err := iter(i); err != nil {
+					return err
+				}
+			}
+		}
+		if had {
+			st.env[x.Iter] = saved
+		} else {
+			delete(st.env, x.Iter)
+		}
+		return nil
+	case *ir.If:
+		st.m.AdvanceCompute(sw26010.Seconds(branchCycles))
+		if x.Cond.Eval(st.env) {
+			return st.run(x.Then)
+		}
+		return st.run(x.Else)
+	case *ir.AllocSPM:
+		elems := x.Elems.Eval(st.env)
+		buf, err := st.m.SPM().Alloc(x.Buf, int(elems))
+		if err != nil {
+			return err
+		}
+		st.spm[x.Buf] = buf
+		st.m.NoteSPMUsage()
+		return nil
+	case *ir.FreeSPM:
+		delete(st.spm, x.Buf)
+		return st.m.SPM().Free(x.Buf)
+	case *ir.RegionMove:
+		// Un-inferred moves execute as a synchronous DMA (issue + wait).
+		op := &ir.DMAOp{Move: *x, Reply: "__sync"}
+		if err := st.dma(op); err != nil {
+			return err
+		}
+		return st.wait(&ir.DMAWait{Reply: "__sync", Times: ir.Const(1)})
+	case *ir.DMAOp:
+		return st.dma(x)
+	case *ir.DMAWait:
+		return st.wait(x)
+	case *ir.Gemm:
+		return st.gemm(x)
+	case *ir.Transform:
+		return st.transform(x)
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (st *state) wait(x *ir.DMAWait) error {
+	times := int(x.Times.Eval(st.env))
+	if st.replies[x.Reply] < times {
+		return fmt.Errorf("dma_wait %s x%d: only %d outstanding", x.Reply, times, st.replies[x.Reply])
+	}
+	st.replies[x.Reply] -= times
+	return st.m.WaitDMA(x.Reply, times)
+}
+
+func (st *state) buffer(name string) (*sw26010.SPMBuffer, error) {
+	b, ok := st.spm[name]
+	if !ok {
+		return nil, fmt.Errorf("SPM buffer %q not allocated", name)
+	}
+	return b, nil
+}
+
+// dma executes one inferred DMA operation: the functional scatter/gather
+// plus the transaction-level timing derived from the region's flattened
+// main-memory access pattern.
+func (st *state) dma(x *ir.DMAOp) error {
+	mv := &x.Move
+	t, ok := st.tensors[mv.Tensor]
+	if !ok {
+		return fmt.Errorf("dma: unknown tensor %q", mv.Tensor)
+	}
+	buf, err := st.buffer(mv.Buf)
+	if err != nil {
+		return fmt.Errorf("dma: %w", err)
+	}
+	nd := t.Rank()
+	if len(mv.Start) != nd || len(mv.Extent) != nd {
+		return fmt.Errorf("dma: region rank %d/%d vs tensor %s rank %d", len(mv.Start), len(mv.Extent), t.Name, nd)
+	}
+	start := make([]int, nd)
+	extent := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		start[d] = int(mv.Start[d].Eval(st.env))
+		extent[d] = int(mv.Extent[d].Eval(st.env))
+	}
+	region, err := tensor.NewRegion(t, start, extent)
+	if err != nil {
+		return fmt.Errorf("dma %s: %w", mv.Tensor, err)
+	}
+	bufOff := int(mv.BufOff.Eval(st.env))
+	var frame []int
+	if mv.FrameStride != nil {
+		frame = make([]int, nd)
+		for d := 0; d < nd; d++ {
+			frame[d] = int(mv.FrameStride[d].Eval(st.env))
+		}
+	} else {
+		frame = packedStrides(extent)
+	}
+
+	if st.opt.Functional {
+		if err := st.moveData(t, region, buf, bufOff, frame, mv.Dir); err != nil {
+			return err
+		}
+	}
+
+	// Timing: flatten the main-memory side into strided blocks and issue
+	// one engine request covering them (uniform geometry).
+	descs, err := region.FlattenMulti(t)
+	if err != nil {
+		return fmt.Errorf("dma %s: %w", mv.Tensor, err)
+	}
+	req := requestFromBlocks(descs, mv.Dir != ir.Get)
+	if err := st.m.IssueDMA(x.Reply, req); err != nil {
+		return err
+	}
+	if st.opt.Trace != nil {
+		start, done := st.m.LastDMA()
+		st.opt.Trace.Add(trace.KindDMA, fmt.Sprintf("%s %s", mv.Dir, mv.Tensor), start, done-start)
+	}
+	st.replies[x.Reply]++
+	return nil
+}
+
+// requestFromBlocks converts the CG-level flattened pattern into a DMA
+// request, modelling the 64-way distribution: when there are fewer blocks
+// than CPEs, each block is subdivided so all CPEs participate (smaller
+// per-CPE blocks, more transaction edges).
+func requestFromBlocks(descs []tensor.Blocks, write bool) sw26010.DMARequest {
+	total := 0
+	for _, d := range descs {
+		total += d.Count
+	}
+	first := descs[0]
+	blockBytes := first.Block * 4
+	strideBytes := first.Stride * 4
+	if total < sw26010.NumCPE && blockBytes > sw26010.TransactionBytes {
+		split := (sw26010.NumCPE + total - 1) / total
+		sub := (first.Block + split - 1) / split
+		blockBytes = sub * 4
+		strideBytes = blockBytes
+		total *= split
+	}
+	if strideBytes < blockBytes {
+		strideBytes = blockBytes
+	}
+	return sw26010.DMARequest{
+		BlockBytes:  blockBytes,
+		BlockCount:  total,
+		StrideBytes: strideBytes,
+		OffsetBytes: first.Offset * 4,
+		Write:       write,
+		CPEs:        1, // BlockCount is already the CG aggregate
+	}
+}
+
+// moveData performs the functional scatter/gather between a tensor region
+// and an SPM frame.
+func (st *state) moveData(t *tensor.Tensor, r tensor.Region, buf *sw26010.SPMBuffer, bufOff int, frame []int, dir ir.MoveDir) error {
+	nd := t.Rank()
+	// Bounds check the frame footprint.
+	maxOff := bufOff
+	for d := 0; d < nd; d++ {
+		maxOff += (r.Extent[d] - 1) * frame[d]
+	}
+	if maxOff >= len(buf.Data) || bufOff < 0 {
+		return fmt.Errorf("dma: frame [%d..%d] exceeds SPM buffer %s (%d elems)", bufOff, maxOff, buf.Name, len(buf.Data))
+	}
+	var rec func(d, memOff, spmOff int)
+	rec = func(d, memOff, spmOff int) {
+		if d == nd {
+			switch dir {
+			case ir.Get:
+				buf.Data[spmOff] = t.Data[memOff]
+			case ir.Put:
+				t.Data[memOff] = buf.Data[spmOff]
+			case ir.PutAcc:
+				t.Data[memOff] += buf.Data[spmOff]
+			}
+			return
+		}
+		mo := memOff + r.Start[d]*t.Strides[d]
+		so := spmOff
+		for i := 0; i < r.Extent[d]; i++ {
+			rec(d+1, mo, so)
+			mo += t.Strides[d]
+			so += frame[d]
+		}
+	}
+	rec(0, 0, bufOff)
+	return nil
+}
+
+func packedStrides(extent []int) []int {
+	out := make([]int, len(extent))
+	s := 1
+	for d := len(extent) - 1; d >= 0; d-- {
+		out[d] = s
+		s *= extent[d]
+	}
+	return out
+}
+
+func (st *state) gemm(x *ir.Gemm) error {
+	spec := primitives.GemmSpec{
+		M:      int(x.M.Eval(st.env)),
+		N:      int(x.N.Eval(st.env)),
+		K:      int(x.K.Eval(st.env)),
+		LDA:    int(x.LDA.Eval(st.env)),
+		LDB:    int(x.LDB.Eval(st.env)),
+		LDC:    int(x.LDC.Eval(st.env)),
+		ATrans: x.ATrans, BTrans: x.BTrans,
+		Vec: x.Vec, Accumulate: x.Accumulate, Specialized: x.Specialized,
+	}
+	secs, err := primitives.GemmTime(spec)
+	if err != nil {
+		return fmt.Errorf("gemm: %w", err)
+	}
+	if st.opt.Trace != nil {
+		st.opt.Trace.Add(trace.KindGemm,
+			fmt.Sprintf("%dx%dx%d", spec.M, spec.N, spec.K), st.m.Now(), secs)
+	}
+	st.m.AdvanceCompute(secs)
+	st.m.Counters.GemmCalls++
+	st.m.Counters.Flops += spec.FLOPs()
+
+	if st.opt.Functional {
+		a, err := st.buffer(x.A)
+		if err != nil {
+			return err
+		}
+		b, err := st.buffer(x.B)
+		if err != nil {
+			return err
+		}
+		c, err := st.buffer(x.C)
+		if err != nil {
+			return err
+		}
+		ao := int(x.AOff.Eval(st.env))
+		bo := int(x.BOff.Eval(st.env))
+		co := int(x.COff.Eval(st.env))
+		if ao < 0 || bo < 0 || co < 0 || ao > len(a.Data) || bo > len(b.Data) || co > len(c.Data) {
+			return fmt.Errorf("gemm: operand offset out of range (%d, %d, %d)", ao, bo, co)
+		}
+		if err := primitives.Gemm(spec, a.Data[ao:], b.Data[bo:], c.Data[co:]); err != nil {
+			return fmt.Errorf("gemm: %w", err)
+		}
+	}
+	return nil
+}
+
+func (st *state) transform(x *ir.Transform) error {
+	st.m.Counters.TransformOps++
+	if st.opt.Trace != nil {
+		t0 := st.m.Now()
+		defer func() {
+			st.opt.Trace.Add(trace.KindTransform, x.Kind.String(), t0, st.m.Now()-t0)
+		}()
+	}
+	switch x.Kind {
+	case ir.ZeroFill:
+		n := int(x.Args[0].Eval(st.env))
+		st.m.AdvanceCompute(primitives.ZeroFillTime(n))
+		if st.opt.Functional {
+			buf, err := st.buffer(x.Dst)
+			if err != nil {
+				return err
+			}
+			off := int(x.DstOff.Eval(st.env))
+			if off < 0 || off+n > len(buf.Data) {
+				return fmt.Errorf("zerofill: [%d,%d) out of %s", off, off+n, x.Dst)
+			}
+			return primitives.ZeroFill(buf.Data[off:], n)
+		}
+		return nil
+	case ir.CopySPM:
+		n := int(x.Args[0].Eval(st.env))
+		st.m.AdvanceCompute(primitives.CopySPMTime(n))
+		if st.opt.Functional {
+			src, err := st.buffer(x.Src)
+			if err != nil {
+				return err
+			}
+			dst, err := st.buffer(x.Dst)
+			if err != nil {
+				return err
+			}
+			so := int(x.SrcOff.Eval(st.env))
+			do := int(x.DstOff.Eval(st.env))
+			if so < 0 || do < 0 || so+n > len(src.Data) || do+n > len(dst.Data) {
+				return fmt.Errorf("copy_spm: ranges out of bounds")
+			}
+			return primitives.CopySPM(src.Data[so:], dst.Data[do:], n)
+		}
+		return nil
+	case ir.WinoInputSlab, ir.WinoOutputSlab:
+		nslabs := int(x.Args[0].Eval(st.env))
+		tilesC := int(x.Args[1].Eval(st.env))
+		phase := "input"
+		if x.Kind == ir.WinoOutputSlab {
+			phase = "output"
+		}
+		var b, ci int
+		if x.Kind == ir.WinoInputSlab {
+			ci = int(x.Args[2].Eval(st.env))
+			b = int(x.Args[3].Eval(st.env))
+		} else {
+			b = int(x.Args[2].Eval(st.env))
+		}
+		secs, err := primitives.WinoSlabTime(phase, nslabs*tilesC*b)
+		if err != nil {
+			return err
+		}
+		st.m.AdvanceCompute(secs)
+		if !st.opt.Functional {
+			return nil
+		}
+		src, err := st.buffer(x.Src)
+		if err != nil {
+			return err
+		}
+		dst, err := st.buffer(x.Dst)
+		if err != nil {
+			return err
+		}
+		so := int(x.SrcOff.Eval(st.env))
+		do := int(x.DstOff.Eval(st.env))
+		if x.Kind == ir.WinoInputSlab {
+			return primitives.WinoInputSlab(src.Data[so:], dst.Data[do:], nslabs, tilesC, ci, b)
+		}
+		return primitives.WinoOutputSlab(src.Data[so:], dst.Data[do:], nslabs, tilesC, b)
+	case ir.WinoInputTile, ir.WinoFilterTile, ir.WinoOutputTile:
+		cnt := int(x.Args[0].Eval(st.env))
+		phase := map[ir.TransformKind]string{
+			ir.WinoInputTile: "input", ir.WinoFilterTile: "filter", ir.WinoOutputTile: "output",
+		}[x.Kind]
+		secs, err := primitives.WinoTransformTime(phase, cnt)
+		if err != nil {
+			return err
+		}
+		st.m.AdvanceCompute(secs)
+		if !st.opt.Functional {
+			return nil
+		}
+		src, err := st.buffer(x.Src)
+		if err != nil {
+			return err
+		}
+		dst, err := st.buffer(x.Dst)
+		if err != nil {
+			return err
+		}
+		so := int(x.SrcOff.Eval(st.env))
+		do := int(x.DstOff.Eval(st.env))
+		switch x.Kind {
+		case ir.WinoInputTile:
+			return primitives.WinoInputTransform(src.Data[so:], dst.Data[do:], cnt)
+		case ir.WinoFilterTile:
+			return primitives.WinoFilterTransform(src.Data[so:], dst.Data[do:], cnt)
+		default:
+			return primitives.WinoOutputTransform(src.Data[so:], dst.Data[do:], cnt)
+		}
+	}
+	return fmt.Errorf("unknown transform %v", x.Kind)
+}

@@ -1,0 +1,259 @@
+package exec
+
+import (
+	"testing"
+
+	"swatop/internal/ir"
+	"swatop/internal/tensor"
+)
+
+// manualProgram builds a tiny hand-written IR program: load two 4×4 tiles,
+// multiply, store — exercising the interpreter without the lowering.
+func manualProgram() *ir.Program {
+	return &ir.Program{
+		Name: "manual",
+		Tensors: []ir.TensorDecl{
+			{Name: "A", Dims: []int{4, 4}},
+			{Name: "B", Dims: []int{4, 4}},
+			{Name: "C", Dims: []int{4, 4}, Output: true},
+		},
+		Body: []ir.Stmt{
+			&ir.AllocSPM{Buf: "a", Elems: ir.Const(16)},
+			&ir.AllocSPM{Buf: "b", Elems: ir.Const(16)},
+			&ir.AllocSPM{Buf: "c", Elems: ir.Const(16)},
+			// Column-major staging: A^T view via FrameStride.
+			&ir.RegionMove{Tensor: "A", Dir: ir.Get,
+				Start:  []ir.Expr{ir.Const(0), ir.Const(0)},
+				Extent: []ir.Expr{ir.Const(4), ir.Const(4)},
+				Buf:    "a", BufOff: ir.Const(0),
+				FrameStride: []ir.Expr{ir.Const(1), ir.Const(4)}},
+			&ir.RegionMove{Tensor: "B", Dir: ir.Get,
+				Start:  []ir.Expr{ir.Const(0), ir.Const(0)},
+				Extent: []ir.Expr{ir.Const(4), ir.Const(4)},
+				Buf:    "b", BufOff: ir.Const(0),
+				FrameStride: []ir.Expr{ir.Const(1), ir.Const(4)}},
+			&ir.Transform{Kind: ir.ZeroFill, Dst: "c", DstOff: ir.Const(0), SrcOff: ir.Const(0),
+				Args: []ir.Expr{ir.Const(16)}},
+			&ir.Gemm{A: "a", B: "b", C: "c",
+				AOff: ir.Const(0), BOff: ir.Const(0), COff: ir.Const(0),
+				M: ir.Const(4), N: ir.Const(4), K: ir.Const(4),
+				LDA: ir.Const(4), LDB: ir.Const(4), LDC: ir.Const(4),
+				Accumulate: true},
+			&ir.RegionMove{Tensor: "C", Dir: ir.Put,
+				Start:  []ir.Expr{ir.Const(0), ir.Const(0)},
+				Extent: []ir.Expr{ir.Const(4), ir.Const(4)},
+				Buf:    "c", BufOff: ir.Const(0),
+				FrameStride: []ir.Expr{ir.Const(1), ir.Const(4)}},
+			&ir.FreeSPM{Buf: "a"},
+			&ir.FreeSPM{Buf: "b"},
+			&ir.FreeSPM{Buf: "c"},
+		},
+	}
+}
+
+func bind3() map[string]*tensor.Tensor {
+	a := tensor.New("A", 4, 4)
+	b := tensor.New("B", 4, 4)
+	c := tensor.New("C", 4, 4)
+	a.FillPattern()
+	b.FillPattern()
+	return map[string]*tensor.Tensor{"A": a, "B": b, "C": c}
+}
+
+func TestRunManualProgram(t *testing.T) {
+	binds := bind3()
+	res, err := Run(manualProgram(), binds, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.Counters.GemmCalls != 1 || res.Counters.DMAOps != 3 {
+		t.Fatalf("counters wrong: %+v", res.Counters)
+	}
+	want, _ := tensor.ReferenceGemm(binds["A"], binds["B"], 1, 0)
+	if d, _ := tensor.MaxAbsDiff(want, binds["C"]); d > 1e-4 {
+		t.Fatalf("manual program wrong by %g", d)
+	}
+}
+
+func TestRunMissingBinding(t *testing.T) {
+	binds := bind3()
+	delete(binds, "B")
+	if _, err := Run(manualProgram(), binds, Options{}); err == nil {
+		t.Fatal("missing tensor binding must fail")
+	}
+}
+
+func TestRunDimsMismatch(t *testing.T) {
+	binds := bind3()
+	binds["A"] = tensor.New("A", 4, 5)
+	if _, err := Run(manualProgram(), binds, Options{}); err == nil {
+		t.Fatal("dims mismatch must fail")
+	}
+	binds["A"] = tensor.New("A", 4)
+	if _, err := Run(manualProgram(), binds, Options{}); err == nil {
+		t.Fatal("rank mismatch must fail")
+	}
+}
+
+func TestRunLayoutMismatch(t *testing.T) {
+	p := manualProgram()
+	p.Tensors[0].Layout = []int{1, 0} // require column-major A
+	binds := bind3()                  // but bind row-major
+	if _, err := Run(p, binds, Options{}); err == nil {
+		t.Fatal("layout mismatch must fail")
+	}
+	cm, _ := tensor.NewWithLayout("A", []int{4, 4}, []int{1, 0})
+	cm.FillPattern()
+	binds["A"] = cm
+	if _, err := Run(p, binds, Options{Functional: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOutputZeroed(t *testing.T) {
+	binds := bind3()
+	binds["C"].Fill(99)
+	if _, err := Run(manualProgram(), binds, Options{Functional: true}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tensor.ReferenceGemm(binds["A"], binds["B"], 1, 0)
+	if d, _ := tensor.MaxAbsDiff(want, binds["C"]); d > 1e-4 {
+		t.Fatal("output tensor was not cleared before the run")
+	}
+}
+
+func TestRunUnbalancedWaitFails(t *testing.T) {
+	p := &ir.Program{
+		Name:    "bad",
+		Tensors: []ir.TensorDecl{{Name: "A", Dims: []int{4}}},
+		Body: []ir.Stmt{
+			&ir.AllocSPM{Buf: "a", Elems: ir.Const(4)},
+			&ir.DMAWait{Reply: "r", Times: ir.Const(1)},
+		},
+	}
+	if _, err := Run(p, map[string]*tensor.Tensor{"A": tensor.New("A", 4)}, Options{}); err == nil {
+		t.Fatal("wait without issue must fail")
+	}
+}
+
+func TestRunLeakedDMAFails(t *testing.T) {
+	p := &ir.Program{
+		Name:    "leak",
+		Tensors: []ir.TensorDecl{{Name: "A", Dims: []int{4}}},
+		Body: []ir.Stmt{
+			&ir.AllocSPM{Buf: "a", Elems: ir.Const(4)},
+			&ir.DMAOp{Move: ir.RegionMove{
+				Tensor: "A", Dir: ir.Get,
+				Start: []ir.Expr{ir.Const(0)}, Extent: []ir.Expr{ir.Const(4)},
+				Buf: "a", BufOff: ir.Const(0),
+			}, Reply: "r"},
+			// no wait
+		},
+	}
+	if _, err := Run(p, map[string]*tensor.Tensor{"A": tensor.New("A", 4)}, Options{}); err == nil {
+		t.Fatal("un-waited DMA must be reported")
+	}
+}
+
+func TestRunPutAccAccumulates(t *testing.T) {
+	p := &ir.Program{
+		Name: "acc",
+		Tensors: []ir.TensorDecl{
+			{Name: "X", Dims: []int{4}},
+			{Name: "Y", Dims: []int{4}, Output: true},
+		},
+		Body: []ir.Stmt{
+			&ir.AllocSPM{Buf: "b", Elems: ir.Const(4)},
+			&ir.For{Iter: "i", Extent: ir.Const(3), Body: []ir.Stmt{
+				&ir.RegionMove{Tensor: "X", Dir: ir.Get,
+					Start: []ir.Expr{ir.Const(0)}, Extent: []ir.Expr{ir.Const(4)},
+					Buf: "b", BufOff: ir.Const(0)},
+				&ir.RegionMove{Tensor: "Y", Dir: ir.PutAcc,
+					Start: []ir.Expr{ir.Const(0)}, Extent: []ir.Expr{ir.Const(4)},
+					Buf: "b", BufOff: ir.Const(0)},
+			}},
+			&ir.FreeSPM{Buf: "b"},
+		},
+	}
+	x := tensor.New("X", 4)
+	x.Fill(2)
+	y := tensor.New("Y", 4)
+	if _, err := Run(p, map[string]*tensor.Tensor{"X": x, "Y": y}, Options{Functional: true}); err != nil {
+		t.Fatal(err)
+	}
+	if y.At(0) != 6 {
+		t.Fatalf("PutAcc over 3 iterations: got %g, want 6", y.At(0))
+	}
+}
+
+func TestRunDispatchOverheadCharged(t *testing.T) {
+	p := manualProgram()
+	binds := bind3()
+	base, err := Run(p, binds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DispatchOverheadSeconds = 1e-3
+	binds2 := bind3()
+	withOv, err := Run(p, binds2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withOv.Seconds < base.Seconds+0.9e-3 {
+		t.Fatalf("dispatch overhead not charged: %g vs %g", withOv.Seconds, base.Seconds)
+	}
+}
+
+func TestBindVirtualMatchesDecls(t *testing.T) {
+	p := manualProgram()
+	p.Tensors[0].Layout = []int{1, 0}
+	binds, err := BindVirtual(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binds["A"].Strides[0] != 1 || binds["A"].Strides[1] != 4 {
+		t.Fatalf("virtual binding ignores layout: %v", binds["A"].Strides)
+	}
+	if binds["A"].Data != nil {
+		t.Fatal("virtual binding must not allocate data")
+	}
+	// Timed-only run works on virtual tensors.
+	if _, err := Run(p, binds, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastLoopsMatchExactOnUniformLoop(t *testing.T) {
+	mk := func() *ir.Program {
+		return &ir.Program{
+			Name:    "loop",
+			Tensors: []ir.TensorDecl{{Name: "X", Dims: []int{4096}}},
+			Body: []ir.Stmt{
+				&ir.AllocSPM{Buf: "b", Elems: ir.Const(64)},
+				&ir.For{Iter: "i", Extent: ir.Const(64), Body: []ir.Stmt{
+					&ir.RegionMove{Tensor: "X", Dir: ir.Get,
+						Start:  []ir.Expr{ir.Mul(ir.V("i"), ir.Const(64))},
+						Extent: []ir.Expr{ir.Const(64)},
+						Buf:    "b", BufOff: ir.Const(0)},
+				}},
+				&ir.FreeSPM{Buf: "b"},
+			},
+		}
+	}
+	x := tensor.New("X", 4096)
+	exact, err := Run(mk(), map[string]*tensor.Tensor{"X": x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(mk(), map[string]*tensor.Tensor{"X": x}, Options{FastLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := fast.Seconds/exact.Seconds - 1
+	if rel < -0.02 || rel > 0.02 {
+		t.Fatalf("fast loops off by %.2f%% on a uniform loop", rel*100)
+	}
+	if fast.Counters.DMAOps != exact.Counters.DMAOps {
+		t.Fatalf("counter extrapolation wrong: %d vs %d", fast.Counters.DMAOps, exact.Counters.DMAOps)
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swatop/internal/baseline"
+	"swatop/internal/conv"
+	"swatop/internal/ir"
+	"swatop/internal/workloads"
+)
+
+// LayerRow is one bar of Figs. 5–7: a network layer at a batch size,
+// swATOP's tuned time vs the best manual implementation.
+type LayerRow struct {
+	Net, Layer string
+	Batch      int
+	Shape      conv.Shape
+	SwATOP     float64 // seconds, simulated
+	Manual     float64 // 0 when no manual implementation exists
+	ManualNA   bool
+	Speedup    float64 // Manual/SwATOP; 0 when ManualNA
+	Eff        float64 // direct-conv efficiency of the swATOP version
+	ChipTFlops float64
+	SpaceSize  int
+}
+
+// manualFor builds the best manual implementation for a method, or reports
+// that none exists.
+func manualFor(method string, s conv.Shape) (*ir.Program, bool, error) {
+	switch method {
+	case "implicit":
+		prog, err := baseline.SwDNNImplicit(s)
+		if err != nil {
+			return nil, true, nil // no manual version (e.g. batch 1)
+		}
+		return prog, false, nil
+	case "winograd":
+		prog, err := baseline.ManualWinograd(s)
+		if err != nil {
+			return nil, false, err
+		}
+		return prog, false, nil
+	case "explicit":
+		prog, err := baseline.ManualExplicit(s)
+		if err != nil {
+			return nil, false, err
+		}
+		return prog, false, nil
+	}
+	return nil, false, fmt.Errorf("unknown method %q", method)
+}
+
+// methodApplies mirrors the paper's applicability rules.
+func methodApplies(method string, s conv.Shape) bool {
+	switch method {
+	case "implicit":
+		return s.Ni >= conv.MinNiImplicit
+	case "winograd":
+		return conv.WinogradApplies(s)
+	default:
+		return true
+	}
+}
+
+// convFig runs one of Figs. 5–7: tune every applicable layer of the three
+// CNNs with the given method and compare with the manual implementation.
+func (r *Runner) convFig(method string, batches []int) ([]LayerRow, error) {
+	var rows []LayerRow
+	for _, net := range []string{"vgg16", "resnet", "yolo"} {
+		layers := workloads.Networks()[net]
+		for li, l := range layers {
+			if r.Quick && li%2 == 1 {
+				continue // quick mode: every other layer
+			}
+			for _, b := range batches {
+				s := l.Shape(b)
+				if !methodApplies(method, s) {
+					continue
+				}
+				tuned, err := r.TuneConv(method, s)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s b=%d: %w", method, l, b, err)
+				}
+				row := LayerRow{
+					Net: l.Net, Layer: l.Name, Batch: b, Shape: s,
+					SwATOP:    tuned.Best.Measured,
+					SpaceSize: tuned.Valid,
+				}
+				row.Eff, row.ChipTFlops = Efficiency(s.FLOPs(), row.SwATOP)
+				manual, na, err := manualFor(method, s)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s b=%d manual: %w", method, l, b, err)
+				}
+				if na {
+					row.ManualNA = true
+				} else {
+					t, err := RunProgram(manual)
+					if err != nil {
+						return nil, fmt.Errorf("%s %s b=%d manual run: %w", method, l, b, err)
+					}
+					row.Manual = t
+					row.Speedup = t / row.SwATOP
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig5 reproduces Fig. 5: implicit CONV speedups over swDNN on the three
+// CNNs (batch 1 has no manual implementation).
+func (r *Runner) Fig5(batches []int) ([]LayerRow, error) { return r.convFig("implicit", batches) }
+
+// Fig6 reproduces Fig. 6: Winograd CONV speedups on applicable layers.
+func (r *Runner) Fig6(batches []int) ([]LayerRow, error) { return r.convFig("winograd", batches) }
+
+// Fig7 reproduces Fig. 7: explicit CONV speedups on all layers.
+func (r *Runner) Fig7(batches []int) ([]LayerRow, error) { return r.convFig("explicit", batches) }
+
+// AvgSpeedup summarizes the comparable rows (manual exists) of a figure.
+func AvgSpeedup(rows []LayerRow, batch int) (avg float64, n int) {
+	sum := 0.0
+	for _, row := range rows {
+		if row.Batch == batch && !row.ManualNA {
+			sum += row.Speedup
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swatop/internal/baseline"
+	"swatop/internal/gemm"
+	"swatop/internal/workloads"
+)
+
+// GemmRow is one Listing-2 shape: swATOP's tuned GEMM vs xMath.
+type GemmRow struct {
+	Params  gemm.Params
+	Aligned bool
+	SwATOP  float64
+	XMath   float64
+}
+
+// Table2Row aggregates one Table 2 quadrant.
+type Table2Row struct {
+	Aligned      bool
+	Faster       int
+	AvgFasterPct float64
+	Slower       int
+	AvgSlowerPct float64
+}
+
+// GemmSweep runs the Listing-2 comparison (cached).
+func (r *Runner) GemmSweep() ([]GemmRow, error) {
+	if r.gemmCache != nil {
+		return r.gemmCache, nil
+	}
+	run := func(ps []gemm.Params, aligned bool, stride int) ([]GemmRow, error) {
+		var rows []GemmRow
+		for i, p := range ps {
+			if r.Quick && i%stride != 0 {
+				continue
+			}
+			tuned, err := r.TuneGemm(p)
+			if err != nil {
+				return nil, fmt.Errorf("gemm sweep %v: %w", p, err)
+			}
+			xm, err := baseline.XMathGemm(p)
+			if err != nil {
+				return nil, err
+			}
+			xt, err := RunProgram(xm)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, GemmRow{Params: p, Aligned: aligned, SwATOP: tuned.Best.Measured, XMath: xt})
+		}
+		return rows, nil
+	}
+	un, err := run(workloads.Listing2Unaligned(), false, 9)
+	if err != nil {
+		return nil, err
+	}
+	al, err := run(workloads.Listing2Aligned(), true, 14)
+	if err != nil {
+		return nil, err
+	}
+	r.gemmCache = append(un, al...)
+	return r.gemmCache, nil
+}
+
+// Table2 reproduces Table 2: swATOP vs xMath faster/slower counts and
+// average speedups, split by alignment.
+func (r *Runner) Table2() ([]Table2Row, error) {
+	rows, err := r.GemmSweep()
+	if err != nil {
+		return nil, err
+	}
+	agg := map[bool]*Table2Row{
+		true:  {Aligned: true},
+		false: {Aligned: false},
+	}
+	for _, row := range rows {
+		a := agg[row.Aligned]
+		if row.SwATOP <= row.XMath {
+			a.Faster++
+			a.AvgFasterPct += row.XMath/row.SwATOP - 1
+		} else {
+			a.Slower++
+			a.AvgSlowerPct += 1 - row.XMath/row.SwATOP
+		}
+	}
+	for _, a := range agg {
+		if a.Faster > 0 {
+			a.AvgFasterPct = a.AvgFasterPct / float64(a.Faster) * 100
+		}
+		if a.Slower > 0 {
+			a.AvgSlowerPct = a.AvgSlowerPct / float64(a.Slower) * 100
+		}
+	}
+	return []Table2Row{*agg[true], *agg[false]}, nil
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) against the simulated SW26010. Each experiment returns
+// structured rows; cmd/swbench and the top-level benchmarks render them.
+package experiments
+
+import (
+	"fmt"
+
+	"swatop/internal/autotune"
+	"swatop/internal/conv"
+	"swatop/internal/costmodel"
+	"swatop/internal/exec"
+	"swatop/internal/gemm"
+	"swatop/internal/ir"
+	"swatop/internal/sw26010"
+	"swatop/internal/tensor"
+)
+
+// Runner holds the shared state of an experiment session: the fitted
+// Eq. (2) model (the offline calibration swATOP performs once per machine)
+// and the quick/full switch.
+type Runner struct {
+	Model *costmodel.GemmModel
+	// Quick trims the heaviest sweeps (brute-force searches, 225-point
+	// grids) to stratified subsets so the whole suite runs in minutes.
+	// Full mode reproduces the complete grids.
+	Quick bool
+
+	sweepCache []SweepRow
+	gemmCache  []GemmRow
+}
+
+// NewRunner fits the GEMM cost model and returns a quick-mode runner.
+func NewRunner() (*Runner, error) {
+	m, err := costmodel.FitGemmModel()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Model: m, Quick: true}, nil
+}
+
+// RunProgram measures a program on the simulator (timed-only, fast loops).
+func RunProgram(prog *ir.Program) (float64, error) {
+	binds, err := exec.BindVirtual(prog)
+	if err != nil {
+		return 0, err
+	}
+	res, err := exec.Run(prog, binds, exec.Options{FastLoops: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}
+
+// TuneConv runs swATOP's model-based tuner on one convolution method and
+// returns the tuned program's simulated time.
+func (r *Runner) TuneConv(method string, s conv.Shape) (autotune.Result, error) {
+	op, err := r.ConvOp(method, s)
+	if err != nil {
+		return autotune.Result{}, err
+	}
+	res, err := autotune.ModelBased(op, r.Model)
+	if err != nil {
+		return autotune.Result{}, err
+	}
+	secs, err := RunProgram(res.Best.Program)
+	if err != nil {
+		return autotune.Result{}, err
+	}
+	res.Best.Measured = secs
+	return res, nil
+}
+
+// ConvOp builds the tunable operator for a method name.
+func (r *Runner) ConvOp(method string, s conv.Shape) (autotune.Operator, error) {
+	switch method {
+	case "implicit":
+		return conv.NewImplicitOp(s)
+	case "explicit":
+		return conv.NewExplicitOp(s)
+	case "winograd":
+		return conv.NewWinogradOp(s)
+	}
+	return nil, fmt.Errorf("unknown conv method %q", method)
+}
+
+// TuneGemm runs the model-based tuner on a GEMM shape.
+func (r *Runner) TuneGemm(p gemm.Params) (autotune.Result, error) {
+	op, err := gemm.NewOp(p)
+	if err != nil {
+		return autotune.Result{}, err
+	}
+	res, err := autotune.ModelBased(op, r.Model)
+	if err != nil {
+		return autotune.Result{}, err
+	}
+	secs, err := RunProgram(res.Best.Program)
+	if err != nil {
+		return autotune.Result{}, err
+	}
+	res.Best.Measured = secs
+	return res, nil
+}
+
+// Efficiency converts a simulated time into the paper's reporting units:
+// core-group efficiency against peak, and chip-level TFLOPS (4 core groups
+// running batch-parallel, the swCaffe deployment; all efficiencies use the
+// *direct convolution* FLOP count, so Winograd may exceed 100%).
+func Efficiency(flops int64, seconds float64) (eff float64, chipTFlops float64) {
+	gflops := float64(flops) / seconds / 1e9
+	eff = gflops / sw26010.PeakGFlops
+	chipTFlops = gflops * sw26010.NumCG / 1e3
+	return eff, chipTFlops
+}
+
+// ConvFLOPs is the direct-convolution FLOP count used for all efficiency
+// reporting.
+func ConvFLOPs(s tensor.ConvShape) int64 { return s.FLOPs() }

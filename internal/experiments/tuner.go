@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swatop/internal/autotune"
+	"swatop/internal/conv"
+	"swatop/internal/workloads"
+)
+
+// Table3Row is one network of Table 3: tuning the implicit CONV of every
+// layer with the black-box tuner vs swATOP's model-based tuner. Times are
+// consumed machine seconds (per-candidate compile+launch+run for the
+// black-box tuner; the paper's hours-vs-minutes axis); host wall seconds
+// are reported alongside.
+type Table3Row struct {
+	Net         string
+	Layers      int
+	SpaceTotal  int
+	SpaceAvg    float64
+	BlackBoxSec float64 // machine seconds, total
+	BlackBoxAvg float64
+	SwATOPSec   float64
+	SwATOPAvg   float64
+	SpeedupX    float64
+	WallBlack   float64 // host wall seconds
+	WallSwATOP  float64
+}
+
+// Table3 reproduces Table 3 at batch 32 (the training configuration).
+func (r *Runner) Table3() ([]Table3Row, error) {
+	var out []Table3Row
+	for _, net := range []string{"vgg16", "resnet", "yolo"} {
+		layers := workloads.Networks()[net]
+		row := Table3Row{Net: net}
+		for li, l := range layers {
+			if r.Quick && li >= 5 {
+				break
+			}
+			s := l.Shape(32)
+			if !methodApplies("implicit", s) {
+				continue
+			}
+			op, err := conv.NewImplicitOp(s)
+			if err != nil {
+				return nil, err
+			}
+			bb, err := autotune.BlackBox(op)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s blackbox: %w", l, err)
+			}
+			mb, err := autotune.ModelBased(op, r.Model)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s swATOP: %w", l, err)
+			}
+			row.Layers++
+			row.SpaceTotal += bb.Valid
+			row.BlackBoxSec += bb.MachineSeconds
+			row.SwATOPSec += mb.MachineSeconds
+			row.WallBlack += bb.WallSeconds
+			row.WallSwATOP += mb.WallSeconds
+		}
+		if row.Layers == 0 {
+			continue
+		}
+		row.SpaceAvg = float64(row.SpaceTotal) / float64(row.Layers)
+		row.BlackBoxAvg = row.BlackBoxSec / float64(row.Layers)
+		row.SwATOPAvg = row.SwATOPSec / float64(row.Layers)
+		row.SpeedupX = row.BlackBoxSec / row.SwATOPSec
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig9Row is one Listing-1 configuration of Fig. 9: the ratio of the
+// model-picked schedule's performance to the true (brute-force) best.
+type Fig9Row struct {
+	Shape conv.Shape
+	Batch int
+	Ratio float64 // bestTime / modelPickTime, ≤ 1
+}
+
+// Fig9 reproduces Fig. 9 on the Listing-1 grid (batch 32; the paper pools
+// all 225 points — full mode covers one batch's 75, quick a stratified 15).
+func (r *Runner) Fig9() ([]Fig9Row, error) {
+	shapes := workloads.Listing1(32)
+	var out []Fig9Row
+	for i, s := range shapes {
+		if r.Quick && i%7 != 0 {
+			continue
+		}
+		op, err := conv.NewImplicitOp(s)
+		if err != nil {
+			return nil, err
+		}
+		bb, err := autotune.BlackBox(op)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %v blackbox: %w", s, err)
+		}
+		mb, err := autotune.ModelBased(op, r.Model)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %v model: %w", s, err)
+		}
+		out = append(out, Fig9Row{Shape: s, Batch: 32, Ratio: bb.Best.Measured / mb.Best.Measured})
+	}
+	return out, nil
+}
+
+// Fig9Summary reports the average and worst ratio.
+func Fig9Summary(rows []Fig9Row) (avg, worst float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	worst = 1
+	for _, r := range rows {
+		avg += r.Ratio
+		if r.Ratio < worst {
+			worst = r.Ratio
+		}
+	}
+	return avg / float64(len(rows)), worst
+}

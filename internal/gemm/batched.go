@@ -1,0 +1,86 @@
+package gemm
+
+import (
+	"fmt"
+
+	"swatop/internal/core"
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+)
+
+// BatchedParams is a batched matrix multiplication: Batch independent
+// products C[g] = A[g] × B[g] — the shape of Winograd's 16 plane products
+// and of attention workloads.
+type BatchedParams struct {
+	Batch, M, N, K int
+}
+
+func (p BatchedParams) String() string {
+	return fmt.Sprintf("bgemm(G=%d,M=%d,N=%d,K=%d)", p.Batch, p.M, p.N, p.K)
+}
+
+// FLOPs is the total floating-point operation count.
+func (p BatchedParams) FLOPs() int64 {
+	return 2 * int64(p.Batch) * int64(p.M) * int64(p.N) * int64(p.K)
+}
+
+// Validate rejects degenerate sizes.
+func (p BatchedParams) Validate() error {
+	if p.Batch <= 0 || p.M <= 0 || p.N <= 0 || p.K <= 0 {
+		return fmt.Errorf("batched gemm: non-positive dims %+v", p)
+	}
+	return nil
+}
+
+// BatchedOp is the tunable batched-GEMM operator.
+type BatchedOp struct {
+	P     BatchedParams
+	seed  *dsl.Seed
+	space *dsl.Space
+}
+
+// NewBatchedOp builds the operator and its schedule space.
+func NewBatchedOp(p BatchedParams) (*BatchedOp, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	seed := dsl.NewSeed(fmt.Sprintf("bgemm_%dx%dx%dx%d", p.Batch, p.M, p.N, p.K))
+	seed.AddAxis("g", p.Batch, dsl.RoleSpatial)
+	seed.AddAxis("m", p.M, dsl.RoleM)
+	seed.AddAxis("n", p.N, dsl.RoleN)
+	seed.AddAxis("k", p.K, dsl.RoleK)
+	seed.AddTensor("A", []int{p.Batch, p.M, p.K}, dsl.OperandA,
+		dsl.Dim("g"), dsl.Dim("m"), dsl.Dim("k"))
+	seed.AddTensor("B", []int{p.Batch, p.K, p.N}, dsl.OperandB,
+		dsl.Dim("g"), dsl.Dim("k"), dsl.Dim("n"))
+	seed.AddTensor("C", []int{p.Batch, p.M, p.N}, dsl.OperandC,
+		dsl.Dim("g"), dsl.Dim("m"), dsl.Dim("n"))
+
+	sp := dsl.NewSpace()
+	sp.Factors["m"] = tileMenu(p.M, []int{64, 128, 256})
+	sp.Factors["n"] = tileMenu(p.N, []int{64, 128, 256})
+	sp.Factors["k"] = tileMenu(p.K, []int{64, 128, 256})
+	sp.Reorder("g", "m", "n", "k")
+	sp.Reorder("g", "n", "m", "k")
+	sp.Layout("A", 0, 1, 2)
+	sp.Layout("A", 0, 2, 1)
+	sp.Layout("B", 0, 1, 2)
+	sp.Layout("B", 0, 2, 1)
+	sp.Layout("C", 0, 1, 2)
+	sp.Layout("C", 0, 2, 1)
+	return &BatchedOp{P: p, seed: seed, space: sp}, nil
+}
+
+// Name identifies the operator instance.
+func (o *BatchedOp) Name() string { return o.seed.Name }
+
+// Seed returns the schedule seed.
+func (o *BatchedOp) Seed() *dsl.Seed { return o.seed }
+
+// Space returns the schedule space.
+func (o *BatchedOp) Space() *dsl.Space { return o.space }
+
+// Compile lowers and optimizes one strategy.
+func (o *BatchedOp) Compile(st dsl.Strategy) (*ir.Program, error) {
+	return core.Compile(o.seed, st)
+}

@@ -1,0 +1,73 @@
+package gemm
+
+import (
+	"math"
+	"testing"
+
+	"swatop/internal/dsl"
+	"swatop/internal/exec"
+	"swatop/internal/ir"
+)
+
+func TestBatchedGemmFunctional(t *testing.T) {
+	p := BatchedParams{Batch: 3, M: 20, N: 12, K: 16}
+	op, err := NewBatchedOp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layC := range [][]int{{0, 1, 2}, {0, 2, 1}} {
+		st := dsl.Strategy{
+			Factors:      map[string]int{"m": 8, "n": 8, "k": 8},
+			Order:        []string{"g", "m", "n", "k"},
+			Layouts:      map[string][]int{"A": {0, 1, 2}, "B": {0, 1, 2}, "C": layC},
+			Vec:          ir.VecM,
+			DoubleBuffer: true,
+		}
+		prog, err := op.Compile(st)
+		if err != nil {
+			t.Fatalf("compile C=%v: %v", layC, err)
+		}
+		binds, err := Bind(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.Run(prog, binds, exec.Options{Functional: true}); err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+		// Oracle per slice.
+		for g := 0; g < p.Batch; g++ {
+			for i := 0; i < p.M; i++ {
+				for j := 0; j < p.N; j++ {
+					var want float32
+					for k := 0; k < p.K; k++ {
+						want += binds["A"].At(g, i, k) * binds["B"].At(g, k, j)
+					}
+					got := binds["C"].At(g, i, j)
+					if math.Abs(float64(got-want)) > 1e-2 {
+						t.Fatalf("C[%d][%d][%d] = %g, want %g (layC=%v)", g, i, j, got, want, layC)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchedGemmValidation(t *testing.T) {
+	if _, err := NewBatchedOp(BatchedParams{Batch: 0, M: 1, N: 1, K: 1}); err == nil {
+		t.Fatal("zero batch must be rejected")
+	}
+	p := BatchedParams{Batch: 4, M: 8, N: 8, K: 8}
+	if p.FLOPs() != 2*4*8*8*8 {
+		t.Fatalf("FLOPs = %d", p.FLOPs())
+	}
+	op, err := NewBatchedOp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name() == "" || op.Seed() == nil || op.Space() == nil {
+		t.Fatal("incomplete operator")
+	}
+	if err := op.Seed().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

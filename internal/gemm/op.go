@@ -1,0 +1,37 @@
+package gemm
+
+import (
+	"swatop/internal/core"
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+)
+
+// Op is the tunable GEMM operator (implements autotune.Operator).
+type Op struct {
+	P     Params
+	seed  *dsl.Seed
+	space *dsl.Space
+}
+
+// NewOp builds the operator with its default schedule space.
+func NewOp(p Params) (*Op, error) {
+	seed, err := Seed(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Op{P: p, seed: seed, space: Space(p)}, nil
+}
+
+// Name identifies the operator instance.
+func (o *Op) Name() string { return o.seed.Name }
+
+// Seed returns the schedule seed.
+func (o *Op) Seed() *dsl.Seed { return o.seed }
+
+// Space returns the schedule space (callers may mutate it to ablate).
+func (o *Op) Space() *dsl.Space { return o.space }
+
+// Compile lowers and optimizes one strategy.
+func (o *Op) Compile(st dsl.Strategy) (*ir.Program, error) {
+	return core.Compile(o.seed, st)
+}

@@ -1,0 +1,349 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"swatop/internal/ir"
+)
+
+// InjectPrefetch implements §4.5.2, hiding memory access latency by double
+// buffering. For every loop whose body directly issues RegionMoves:
+//
+//   - SPM frames of the moved buffers are doubled; all references inside
+//     the loop are offset by the iteration parity.
+//   - Gets become: an initial DMA issue before the loop nest (all enclosing
+//     iterators at 0), a wait at the top of each iteration, and a
+//     prefetching issue of the *next* iteration's region into the other
+//     half. The next iteration's index vector is inferred by the generated
+//     nested if-then-else chain over the enclosing loop variables
+//     (Φ(I⃗) of the paper).
+//   - Puts become asynchronous, waited two iterations later (when their
+//     half is about to be reused), with a drain after the loop nest.
+//
+// The pass must run before InferDMA (it consumes RegionMoves).
+func InjectPrefetch(p *ir.Program) error {
+	allocs := map[string]*ir.AllocSPM{}
+	ir.Walk(p.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.AllocSPM); ok {
+			allocs[a.Buf] = a
+		}
+		return true
+	})
+	pf := &prefetcher{allocs: allocs, doubled: map[string]bool{}}
+	body, err := pf.topLevel(p.Body)
+	if err != nil {
+		return err
+	}
+	p.Body = body
+	return nil
+}
+
+type loopCtx struct {
+	iter   string
+	extent int64
+}
+
+type prefetcher struct {
+	allocs  map[string]*ir.AllocSPM
+	doubled map[string]bool
+	nreply  int
+}
+
+// topLevel processes a statement list that is *outside* any loop: each For
+// found here roots an independent prefetch region (a phase).
+func (pf *prefetcher) topLevel(body []ir.Stmt) ([]ir.Stmt, error) {
+	var out []ir.Stmt
+	for _, s := range body {
+		f, ok := s.(*ir.For)
+		if !ok {
+			out = append(out, s)
+			continue
+		}
+		ext, cok := ir.IsConst(f.Extent)
+		if !cok {
+			out = append(out, s)
+			continue
+		}
+		prelude, postlude, err := pf.loop(f, []loopCtx{{f.Iter, ext}})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prelude...)
+		out = append(out, f)
+		out = append(out, postlude...)
+	}
+	return out, nil
+}
+
+// loop transforms one loop (children first) and returns the prelude and
+// postlude statements to place around the phase root.
+func (pf *prefetcher) loop(f *ir.For, chain []loopCtx) (prelude, postlude []ir.Stmt, err error) {
+	// Children first.
+	for _, s := range f.Body {
+		if inner, ok := s.(*ir.For); ok {
+			ext, cok := ir.IsConst(inner.Extent)
+			if !cok {
+				continue
+			}
+			pre, post, err := pf.loop(inner, append(append([]loopCtx(nil), chain...), loopCtx{inner.Iter, ext}))
+			if err != nil {
+				return nil, nil, err
+			}
+			prelude = append(prelude, pre...)
+			postlude = append(postlude, post...)
+		}
+	}
+
+	// Collect direct moves (gets with optional guard, puts).
+	type getSite struct {
+		idx   int // index in f.Body
+		guard *ir.If
+		mv    *ir.RegionMove
+	}
+	type putSite struct {
+		idx int
+		mv  *ir.RegionMove
+	}
+	var gets []getSite
+	var puts []putSite
+	for i, s := range f.Body {
+		mv, ok := s.(*ir.RegionMove)
+		if !ok {
+			continue
+		}
+		if mv.Dir == ir.Get {
+			g := getSite{idx: i, mv: mv}
+			if i > 0 {
+				if iff, ok := f.Body[i-1].(*ir.If); ok && len(iff.Then) == 1 && len(iff.Else) == 0 {
+					if zf, ok := iff.Then[0].(*ir.Transform); ok && zf.Kind == ir.ZeroFill && zf.Dst == mv.Buf {
+						g.guard = iff
+					}
+				}
+			}
+			gets = append(gets, g)
+		} else {
+			puts = append(puts, putSite{idx: i, mv: mv})
+		}
+	}
+	if len(gets) == 0 && len(puts) == 0 {
+		return prelude, postlude, nil
+	}
+
+	ctr := "g_" + f.Iter
+	parity := func(delta int64) ir.Expr {
+		return ir.Mod(ir.Add(ir.V(ctr), ir.Const(delta)), ir.Const(2))
+	}
+	prelude = append([]ir.Stmt{&ir.Assign{Var: ctr, Val: ir.Const(0)}}, prelude...)
+
+	// Snapshot the moves before parity rewriting: prefetch issues must be
+	// built from the un-offset originals.
+	cleanMove := map[*ir.RegionMove]*ir.RegionMove{}
+	cleanGuard := map[*ir.RegionMove]*ir.If{}
+	for _, g := range gets {
+		cleanMove[g.mv] = ir.CloneStmt(g.mv).(*ir.RegionMove)
+		if g.guard != nil {
+			cleanGuard[g.mv] = ir.CloneStmt(g.guard).(*ir.If)
+		}
+	}
+
+	// Double the frames and rewrite buffer references by parity.
+	touched := map[string]int64{}
+	for _, g := range gets {
+		touched[g.mv.Buf] = 0
+	}
+	for _, p := range puts {
+		touched[p.mv.Buf] = 0
+	}
+	for buf := range touched {
+		alloc, ok := pf.allocs[buf]
+		if !ok {
+			return nil, nil, fmt.Errorf("prefetch: no allocation found for buffer %q", buf)
+		}
+		elems, cok := ir.IsConst(alloc.Elems)
+		if !cok {
+			return nil, nil, fmt.Errorf("prefetch: non-constant frame size for %q", buf)
+		}
+		if !pf.doubled[buf] {
+			alloc.Elems = ir.Const(elems * 2)
+			pf.doubled[buf] = true
+		} else {
+			return nil, nil, fmt.Errorf("prefetch: buffer %q double-buffered twice", buf)
+		}
+		touched[buf] = elems
+		offsetBufRefs(f.Body, buf, ir.Mul(parity(0), ir.Const(elems)))
+	}
+
+	// Next-index inference chain (Assign + nested If), shared by all gets.
+	nx := func(iter string) string { return "nx_" + iter }
+	var chainStmts []ir.Stmt
+	for _, c := range chain {
+		chainStmts = append(chainStmts, &ir.Assign{Var: nx(c.iter), Val: ir.V(c.iter)})
+	}
+	last := len(chain) - 1
+	chainStmts = append(chainStmts, &ir.Assign{Var: nx(chain[last].iter), Val: ir.Add(ir.V(chain[last].iter), ir.Const(1))})
+	// Wrap handling: if the incremented iterator overflowed, reset it and
+	// carry into the next-outer one, recursively — the nested if-then-else
+	// structure of §4.5.2.
+	var buildWrap func(d int) []ir.Stmt
+	buildWrap = func(d int) []ir.Stmt {
+		body := []ir.Stmt{
+			&ir.Assign{Var: nx(chain[d].iter), Val: ir.Const(0)},
+			&ir.Assign{Var: nx(chain[d-1].iter), Val: ir.Add(ir.V(chain[d-1].iter), ir.Const(1))},
+		}
+		if d-1 >= 1 {
+			body = append(body, buildWrap(d-1)...)
+		}
+		return []ir.Stmt{&ir.If{
+			Cond: ir.Cond{Op: ir.EQ, L: ir.V(nx(chain[d].iter)), R: ir.Const(chain[d].extent)},
+			Then: body,
+		}}
+	}
+	if last >= 1 {
+		chainStmts = append(chainStmts, buildWrap(last)...)
+	}
+	valid := ir.Cond{Op: ir.LT, L: ir.V(nx(chain[0].iter)), R: ir.Const(chain[0].extent)}
+
+	// Substitution maps.
+	nextSub := map[string]ir.Expr{}
+	zeroSub := map[string]ir.Expr{}
+	for _, c := range chain {
+		nextSub[c.iter] = ir.V(nx(c.iter))
+		zeroSub[c.iter] = ir.Const(0)
+	}
+
+	// Assemble the new body.
+	var newBody []ir.Stmt
+	// 1. Waits for this iteration's gets.
+	getReply := map[*ir.RegionMove]string{}
+	for _, g := range gets {
+		r := pf.reply("pfg")
+		getReply[g.mv] = r
+		newBody = append(newBody, &ir.DMAWait{Reply: r, Times: ir.Const(1)})
+	}
+	// 2. Guarded waits for put halves about to be reused.
+	putReply := map[string]string{}
+	for _, p := range puts {
+		r, ok := putReply[p.mv.Buf]
+		if !ok {
+			r = pf.reply("pfp")
+			putReply[p.mv.Buf] = r
+		}
+		newBody = append(newBody, &ir.If{
+			Cond: ir.Cond{Op: ir.GE, L: ir.V(ctr), R: ir.Const(2)},
+			Then: []ir.Stmt{&ir.DMAWait{Reply: r, Times: ir.Const(1)}},
+		})
+	}
+	// 3. Next-index inference + prefetch issues.
+	newBody = append(newBody, chainStmts...)
+	for _, g := range gets {
+		issue := pf.issueFor(cleanMove[g.mv], cleanGuard[g.mv], nextSub, ir.Mul(parity(1), ir.Const(touched[g.mv.Buf])), getReply[g.mv])
+		newBody = append(newBody, &ir.If{Cond: valid, Then: issue})
+	}
+	// 4. Original body with gets (and their guards) removed and puts async.
+	skip := map[int]bool{}
+	for _, g := range gets {
+		skip[g.idx] = true
+		if g.guard != nil {
+			skip[g.idx-1] = true
+		}
+	}
+	for i, s := range f.Body {
+		if skip[i] {
+			continue
+		}
+		replaced := false
+		for _, p := range puts {
+			if p.idx == i {
+				newBody = append(newBody, &ir.DMAOp{Move: *p.mv, Reply: putReply[p.mv.Buf]})
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			newBody = append(newBody, s)
+		}
+	}
+	// 5. Iteration counter.
+	newBody = append(newBody, &ir.Assign{Var: ctr, Val: ir.Add(ir.V(ctr), ir.Const(1))})
+	f.Body = newBody
+
+	// Prelude: initial issues with all chain iterators at zero.
+	for _, g := range gets {
+		prelude = append(prelude, pf.issueFor(cleanMove[g.mv], cleanGuard[g.mv], zeroSub, ir.Const(0), getReply[g.mv])...)
+	}
+	// Postlude: drain outstanding puts.
+	for _, r := range putReply {
+		postlude = append(postlude,
+			&ir.If{Cond: ir.Cond{Op: ir.GE, L: ir.V(ctr), R: ir.Const(1)},
+				Then: []ir.Stmt{&ir.DMAWait{Reply: r, Times: ir.Const(1)}}},
+			&ir.If{Cond: ir.Cond{Op: ir.GE, L: ir.V(ctr), R: ir.Const(2)},
+				Then: []ir.Stmt{&ir.DMAWait{Reply: r, Times: ir.Const(1)}}},
+		)
+	}
+	return prelude, postlude, nil
+}
+
+// issueFor builds the (optionally pad-guarded) prefetch issue of a get with
+// substituted iterators and a parity buffer offset.
+func (pf *prefetcher) issueFor(mv *ir.RegionMove, guard *ir.If, sub map[string]ir.Expr, off ir.Expr, reply string) []ir.Stmt {
+	clone := ir.CloneStmt(mv).(*ir.RegionMove)
+	for d := range clone.Start {
+		clone.Start[d] = ir.Subst(clone.Start[d], sub)
+		clone.Extent[d] = ir.Subst(clone.Extent[d], sub)
+	}
+	for d := range clone.FrameStride {
+		clone.FrameStride[d] = ir.Subst(clone.FrameStride[d], sub)
+	}
+	clone.BufOff = ir.Add(ir.Subst(clone.BufOff, sub), off)
+	var out []ir.Stmt
+	if guard != nil {
+		zf := ir.CloneStmt(guard.Then[0]).(*ir.Transform)
+		zf.DstOff = ir.Add(ir.Subst(zf.DstOff, sub), off)
+		cond := guard.Cond
+		cond.L = ir.Subst(cond.L, sub)
+		cond.R = ir.Subst(cond.R, sub)
+		out = append(out, &ir.If{Cond: cond, Then: []ir.Stmt{zf}})
+	}
+	out = append(out, &ir.DMAOp{Move: *clone, Reply: reply})
+	return out
+}
+
+func (pf *prefetcher) reply(prefix string) string {
+	pf.nreply++
+	return fmt.Sprintf("%s%d", prefix, pf.nreply)
+}
+
+// offsetBufRefs adds a parity offset to every reference to an SPM buffer in
+// a subtree (GEMM operands, transforms, region moves).
+func offsetBufRefs(body []ir.Stmt, buf string, off ir.Expr) {
+	ir.Walk(body, func(s ir.Stmt) bool {
+		switch x := s.(type) {
+		case *ir.Gemm:
+			if x.A == buf {
+				x.AOff = ir.Add(x.AOff, off)
+			}
+			if x.B == buf {
+				x.BOff = ir.Add(x.BOff, off)
+			}
+			if x.C == buf {
+				x.COff = ir.Add(x.COff, off)
+			}
+		case *ir.Transform:
+			if x.Src == buf {
+				x.SrcOff = ir.Add(x.SrcOff, off)
+			}
+			if x.Dst == buf {
+				x.DstOff = ir.Add(x.DstOff, off)
+			}
+		case *ir.RegionMove:
+			if x.Buf == buf {
+				x.BufOff = ir.Add(x.BufOff, off)
+			}
+		case *ir.DMAOp:
+			if x.Move.Buf == buf {
+				x.Move.BufOff = ir.Add(x.Move.BufOff, off)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,45 @@
+package primitives
+
+import (
+	"fmt"
+
+	"swatop/internal/sw26010"
+)
+
+// Auxiliary SPM kernels used by boundary processing (§4.5.3): zero-fill for
+// lightweight padding and strided SPM-to-SPM copies into auxiliary buffers.
+
+// ZeroFill clears n elements of an SPM slice.
+func ZeroFill(dst []float32, n int) error {
+	if n < 0 || n > len(dst) {
+		return fmt.Errorf("zerofill: %d elements into buffer of %d", n, len(dst))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// CopySPM copies n elements between SPM slices.
+func CopySPM(src, dst []float32, n int) error {
+	if n < 0 || n > len(src) || n > len(dst) {
+		return fmt.Errorf("copy_spm: %d elements (src %d, dst %d)", n, len(src), len(dst))
+	}
+	copy(dst[:n], src[:n])
+	return nil
+}
+
+// ZeroFillTime models a vectorized SPM clear: one vector store per 4
+// elements, spread across the cluster.
+func ZeroFillTime(n int) float64 {
+	vecs := float64(ceilDiv(n, sw26010.VectorWidth))
+	cycles := 40.0 + vecs/float64(sw26010.NumCPE)
+	return sw26010.Seconds(cycles)
+}
+
+// CopySPMTime models an SPM-to-SPM vector copy (load + store per vector).
+func CopySPMTime(n int) float64 {
+	vecs := float64(ceilDiv(n, sw26010.VectorWidth))
+	cycles := 40.0 + 2*vecs/float64(sw26010.NumCPE)
+	return sw26010.Seconds(cycles)
+}

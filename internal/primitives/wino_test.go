@@ -1,0 +1,246 @@
+package primitives
+
+import (
+	"math"
+	"testing"
+
+	"swatop/internal/tensor"
+)
+
+// winogradOneTile runs a full F(2x2,3x3) convolution of a single 4x4 input
+// tile with a single 3x3 filter through the three transforms and compares
+// with direct convolution.
+func TestWinogradSingleTileAgainstDirect(t *testing.T) {
+	in := []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	g := []float32{
+		1, 0, -1,
+		2, 1, 0,
+		0, -1, 1,
+	}
+
+	u := make([]float32, WinoPlanes)
+	v := make([]float32, WinoPlanes)
+	if err := WinoFilterTransform(g, u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WinoInputTransform(in, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := make([]float32, WinoPlanes)
+	for xi := 0; xi < WinoPlanes; xi++ {
+		m[xi] = u[xi] * v[xi]
+	}
+	y := make([]float32, 4)
+	if err := WinoOutputTransform(m, y, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct 2x2 output of valid conv (correlation, as Alg. 1).
+	var want [4]float32
+	for ro := 0; ro < 2; ro++ {
+		for co := 0; co < 2; co++ {
+			var acc float32
+			for kr := 0; kr < 3; kr++ {
+				for kc := 0; kc < 3; kc++ {
+					acc += in[(ro+kr)*4+co+kc] * g[kr*3+kc]
+				}
+			}
+			want[ro*2+co] = acc
+		}
+	}
+	for i := range want {
+		if math.Abs(float64(y[i]-want[i])) > 1e-4 {
+			t.Fatalf("output[%d] = %g, want %g (y=%v)", i, y[i], want[i], want)
+		}
+	}
+}
+
+// TestWinogradMultiChannel checks the batched-GEMM formulation: for each
+// plane xi, M[xi][no][p] = sum_ni U[xi][no][ni] * V[xi][ni][p], which is
+// exactly the 16-GEMM structure swATOP lowers to.
+func TestWinogradMultiChannelGemmFormulation(t *testing.T) {
+	const Ni, No = 3, 2
+	s := tensor.ConvShape{B: 1, Ni: Ni, No: No, Ro: 4, Co: 4, Kr: 3, Kc: 3}
+	in := tensor.NewConvInput(s)
+	w := tensor.NewConvFilter(s)
+	in.FillPattern()
+	w.FillPattern()
+	ref, err := tensor.ReferenceConv(in, w, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tilesR, tilesC := s.Ro/2, s.Co/2
+	P := tilesR * tilesC // batch=1
+
+	// U[xi][no][ni]
+	u := make([]float32, WinoPlanes*No*Ni)
+	for no := 0; no < No; no++ {
+		for ni := 0; ni < Ni; ni++ {
+			flt := make([]float32, 9)
+			for kr := 0; kr < 3; kr++ {
+				for kc := 0; kc < 3; kc++ {
+					flt[kr*3+kc] = w.At(no, ni, kr, kc)
+				}
+			}
+			tile := make([]float32, WinoPlanes)
+			if err := WinoFilterTransform(flt, tile, 1); err != nil {
+				t.Fatal(err)
+			}
+			for xi := 0; xi < WinoPlanes; xi++ {
+				u[(xi*No+no)*Ni+ni] = tile[xi]
+			}
+		}
+	}
+
+	// V[xi][ni][p]
+	v := make([]float32, WinoPlanes*Ni*P)
+	for ni := 0; ni < Ni; ni++ {
+		for tr := 0; tr < tilesR; tr++ {
+			for tc := 0; tc < tilesC; tc++ {
+				p := tr*tilesC + tc
+				tile := make([]float32, 16)
+				for r := 0; r < 4; r++ {
+					for c := 0; c < 4; c++ {
+						tile[r*4+c] = in.At(ni, tr*2+r, tc*2+c, 0)
+					}
+				}
+				out := make([]float32, WinoPlanes)
+				if err := WinoInputTransform(tile, out, 1); err != nil {
+					t.Fatal(err)
+				}
+				for xi := 0; xi < WinoPlanes; xi++ {
+					v[(xi*Ni+ni)*P+p] = out[xi]
+				}
+			}
+		}
+	}
+
+	// M[xi][no][p] via 16 small GEMMs.
+	m := make([]float32, WinoPlanes*No*P)
+	for xi := 0; xi < WinoPlanes; xi++ {
+		for no := 0; no < No; no++ {
+			for p := 0; p < P; p++ {
+				var acc float32
+				for ni := 0; ni < Ni; ni++ {
+					acc += u[(xi*No+no)*Ni+ni] * v[(xi*Ni+ni)*P+p]
+				}
+				m[(xi*No+no)*P+p] = acc
+			}
+		}
+	}
+
+	// Inverse transform per (no, p).
+	for no := 0; no < No; no++ {
+		for tr := 0; tr < tilesR; tr++ {
+			for tc := 0; tc < tilesC; tc++ {
+				p := tr*tilesC + tc
+				planes := make([]float32, WinoPlanes)
+				for xi := 0; xi < WinoPlanes; xi++ {
+					planes[xi] = m[(xi*No+no)*P+p]
+				}
+				y := make([]float32, 4)
+				if err := WinoOutputTransform(planes, y, 1); err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < 2; r++ {
+					for c := 0; c < 2; c++ {
+						want := ref.At(no, tr*2+r, tc*2+c, 0)
+						if math.Abs(float64(y[r*2+c]-want)) > 1e-3 {
+							t.Fatalf("no=%d tile(%d,%d) out(%d,%d) = %g, want %g",
+								no, tr, tc, r, c, y[r*2+c], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWinoTransformsBatched(t *testing.T) {
+	// Transforming 5 tiles at once must equal 5 single-tile transforms.
+	const cnt = 5
+	src := make([]float32, cnt*16)
+	for i := range src {
+		src[i] = float32(i%13) - 6
+	}
+	batched := make([]float32, cnt*WinoPlanes)
+	if err := WinoInputTransform(src, batched, cnt); err != nil {
+		t.Fatal(err)
+	}
+	for tIdx := 0; tIdx < cnt; tIdx++ {
+		single := make([]float32, WinoPlanes)
+		if err := WinoInputTransform(src[tIdx*16:(tIdx+1)*16], single, 1); err != nil {
+			t.Fatal(err)
+		}
+		for xi := 0; xi < WinoPlanes; xi++ {
+			if batched[xi*cnt+tIdx] != single[xi] {
+				t.Fatalf("batched input transform differs at tile %d plane %d", tIdx, xi)
+			}
+		}
+	}
+}
+
+func TestWinoShortBuffers(t *testing.T) {
+	small := make([]float32, 3)
+	big := make([]float32, 64)
+	if err := WinoFilterTransform(small, big, 1); err == nil {
+		t.Fatal("short filter src must error")
+	}
+	if err := WinoInputTransform(big, small, 1); err == nil {
+		t.Fatal("short input dst must error")
+	}
+	if err := WinoOutputTransform(small, big, 1); err == nil {
+		t.Fatal("short output src must error")
+	}
+}
+
+func TestWinoTransformTime(t *testing.T) {
+	for _, phase := range []string{"filter", "input", "output"} {
+		t1, err := WinoTransformTime(phase, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := WinoTransformTime(phase, 64*100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t1 <= 0 || t2 <= t1 {
+			t.Fatalf("%s: times %g %g not increasing", phase, t1, t2)
+		}
+	}
+	if _, err := WinoTransformTime("bogus", 1); err == nil {
+		t.Fatal("unknown phase must error")
+	}
+}
+
+func TestAuxKernels(t *testing.T) {
+	buf := []float32{1, 2, 3, 4}
+	if err := ZeroFill(buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[2] != 0 || buf[3] != 4 {
+		t.Fatalf("zerofill wrong: %v", buf)
+	}
+	if err := ZeroFill(buf, 5); err == nil {
+		t.Fatal("overlong zerofill must error")
+	}
+	src := []float32{7, 8}
+	if err := CopySPM(src, buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 || buf[1] != 8 {
+		t.Fatalf("copy wrong: %v", buf)
+	}
+	if err := CopySPM(src, buf, 3); err == nil {
+		t.Fatal("overlong copy must error")
+	}
+	if ZeroFillTime(1024) <= 0 || CopySPMTime(1024) <= ZeroFillTime(1024) {
+		t.Fatal("aux kernel times inconsistent")
+	}
+}

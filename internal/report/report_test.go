@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.23456)
+	tb.AddRow("a-much-longer-name", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: the header and separator have the same width.
+	if len(lines[1]) > len(lines[2])+2 {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatal("float formatting wrong")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x", 1)
+	csv := tb.CSV()
+	if csv != "a,b\nx,1\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "+12.3%" || Pct(-0.05) != "-5.0%" {
+		t.Fatal("Pct wrong")
+	}
+	if Ms(0.00123) != "1.23ms" {
+		t.Fatalf("Ms = %q", Ms(0.00123))
+	}
+	if Duration(30) != "30s" {
+		t.Fatalf("Duration(30) = %q", Duration(30))
+	}
+	if Duration(90) != "1m 30s" {
+		t.Fatalf("Duration(90) = %q", Duration(90))
+	}
+	if Duration(7200+120) != "2h 2m" {
+		t.Fatalf("Duration(7320) = %q", Duration(7320))
+	}
+}

@@ -1,0 +1,153 @@
+// Package schedule enumerates swATOP schedule spaces (§4.3): the Cartesian
+// product of tile-factor candidates, loop-order candidates, layout
+// candidates, vectorization choices and optimization toggles. Validity
+// pruning (SPM capacity, vectorization rules, layout separability) happens
+// when candidates are lowered; this package produces the raw points
+// deterministically.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"swatop/internal/dsl"
+)
+
+// MaxSpace bounds enumeration as a guard against accidental combinatorial
+// explosions in operator definitions.
+const MaxSpace = 200000
+
+// Enumerate lists every point of a schedule space in a deterministic order.
+func Enumerate(seed *dsl.Seed, sp *dsl.Space) ([]dsl.Strategy, error) {
+	axes := make([]string, 0, len(sp.Factors))
+	for name := range sp.Factors {
+		if _, err := seed.Axis(name); err != nil {
+			return nil, fmt.Errorf("schedule: %w", err)
+		}
+		axes = append(axes, name)
+	}
+	sort.Strings(axes)
+
+	factorChoices := make([][]int, len(axes))
+	for i, name := range axes {
+		ax, _ := seed.Axis(name)
+		var valid []int
+		seen := map[int]bool{}
+		for _, f := range sp.Factors[name] {
+			if f >= 1 && f <= ax.Extent && !seen[f] {
+				valid = append(valid, f)
+				seen[f] = true
+			}
+		}
+		if len(valid) == 0 {
+			valid = []int{1}
+		}
+		factorChoices[i] = valid
+	}
+
+	orders := sp.Orders
+	if len(orders) == 0 {
+		orders = [][]string{nil} // declaration order
+	}
+	tensors := make([]string, 0, len(sp.Layouts))
+	for name := range sp.Layouts {
+		if _, err := seed.Tensor(name); err != nil {
+			return nil, fmt.Errorf("schedule: %w", err)
+		}
+		tensors = append(tensors, name)
+	}
+	sort.Strings(tensors)
+	layoutChoices := make([][][]int, len(tensors))
+	for i, name := range tensors {
+		layoutChoices[i] = sp.Layouts[name]
+	}
+	vecs := sp.Vecs
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("schedule: space has no vectorization candidates")
+	}
+	dbs := sp.DoubleBuffer
+	if len(dbs) == 0 {
+		dbs = []bool{true}
+	}
+	pads := sp.Padding
+	if len(pads) == 0 {
+		pads = []dsl.PaddingMode{dsl.PadLightweight}
+	}
+
+	size := len(orders) * len(vecs) * len(dbs) * len(pads)
+	for _, fc := range factorChoices {
+		size *= len(fc)
+	}
+	for _, lc := range layoutChoices {
+		size *= len(lc)
+	}
+	if size > MaxSpace {
+		return nil, fmt.Errorf("schedule: space of %d points exceeds the %d guard", size, MaxSpace)
+	}
+
+	var out []dsl.Strategy
+	factorIdx := make([]int, len(axes))
+	layoutIdx := make([]int, len(tensors))
+
+	var recLayouts func(d int, st dsl.Strategy)
+	emit := func(st dsl.Strategy) {
+		for _, order := range orders {
+			for _, vec := range vecs {
+				for _, db := range dbs {
+					for _, pad := range pads {
+						s := st
+						s.Order = order
+						s.Vec = vec
+						s.DoubleBuffer = db
+						s.Padding = pad
+						// Deep-copy maps so strategies are independent.
+						s.Factors = copyIntMap(st.Factors)
+						s.Layouts = copyLayoutMap(st.Layouts)
+						out = append(out, s)
+					}
+				}
+			}
+		}
+	}
+	recLayouts = func(d int, st dsl.Strategy) {
+		if d == len(tensors) {
+			emit(st)
+			return
+		}
+		for i := range layoutChoices[d] {
+			layoutIdx[d] = i
+			st.Layouts[tensors[d]] = layoutChoices[d][i]
+			recLayouts(d+1, st)
+		}
+	}
+	var recFactors func(d int, st dsl.Strategy)
+	recFactors = func(d int, st dsl.Strategy) {
+		if d == len(axes) {
+			recLayouts(0, st)
+			return
+		}
+		for i := range factorChoices[d] {
+			factorIdx[d] = i
+			st.Factors[axes[d]] = factorChoices[d][i]
+			recFactors(d+1, st)
+		}
+	}
+	recFactors(0, dsl.Strategy{Factors: map[string]int{}, Layouts: map[string][]int{}})
+	return out, nil
+}
+
+func copyIntMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyLayoutMap(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package schedule
+
+import (
+	"testing"
+
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+)
+
+func seed() *dsl.Seed {
+	s := dsl.NewSeed("op")
+	s.AddAxis("m", 128, dsl.RoleM)
+	s.AddAxis("n", 128, dsl.RoleN)
+	s.AddAxis("k", 128, dsl.RoleK)
+	s.AddTensor("A", []int{128, 128}, dsl.OperandA, dsl.Dim("m"), dsl.Dim("k"))
+	s.AddTensor("B", []int{128, 128}, dsl.OperandB, dsl.Dim("k"), dsl.Dim("n"))
+	s.AddTensor("C", []int{128, 128}, dsl.OperandC, dsl.Dim("m"), dsl.Dim("n"))
+	return s
+}
+
+func TestEnumerateProduct(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 32, 64)
+	sp.FactorVar("n", 32)
+	sp.Reorder("m", "n", "k")
+	sp.Reorder("n", "m", "k")
+	sp.Layout("A", 0, 1).Layout("A", 1, 0)
+	sts, err := Enumerate(seed(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 m × 1 n × 2 orders × 2 layouts × 2 vecs = 16
+	if len(sts) != 16 {
+		t.Fatalf("space = %d, want 16", len(sts))
+	}
+	seen := map[string]bool{}
+	for _, st := range sts {
+		key := st.String()
+		if seen[key] {
+			t.Fatalf("duplicate strategy %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEnumerateDedupsFactors(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 32, 32, 32)
+	sts, err := Enumerate(seed(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 { // 1 factor × 2 vecs
+		t.Fatalf("duplicates not removed: %d strategies", len(sts))
+	}
+}
+
+func TestEnumerateDefaultsWhenSparse(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 4096) // beyond extent: falls back to 1
+	sts, err := Enumerate(seed(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		if st.Factors["m"] != 1 {
+			t.Fatalf("invalid factor survived: %v", st)
+		}
+		if st.Padding != dsl.PadLightweight || st.DoubleBuffer != true {
+			t.Fatalf("defaults wrong: %v", st)
+		}
+	}
+}
+
+func TestEnumerateOptionAxes(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 32)
+	sp.DoubleBuffer = []bool{false, true}
+	sp.Padding = []dsl.PaddingMode{dsl.PadLightweight, dsl.PadTraditional}
+	sp.Vecs = []ir.VecDim{ir.VecM}
+	sts, err := Enumerate(seed(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 4 {
+		t.Fatalf("want 4 option combos, got %d", len(sts))
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("ghost", 2)
+	if _, err := Enumerate(seed(), sp); err == nil {
+		t.Fatal("unknown axis must error")
+	}
+	sp2 := dsl.NewSpace()
+	sp2.Layout("Ghost", 0, 1)
+	if _, err := Enumerate(seed(), sp2); err == nil {
+		t.Fatal("unknown tensor must error")
+	}
+	sp3 := dsl.NewSpace()
+	sp3.Vecs = nil
+	if _, err := Enumerate(seed(), sp3); err == nil {
+		t.Fatal("empty vec list must error")
+	}
+}

@@ -1,0 +1,86 @@
+package sw26010
+
+// Substrate validation microbenchmarks. These reproduce the measurements of
+// Xu et al. [24] that the paper's §2 quotes — DMA stream bandwidth
+// (22.6 GB/s), global load/store bandwidth (1.48 GB/s) and register
+// communication bandwidth (647.25 GB/s) — against the simulator, so that
+// the substituted substrate can be checked against the published hardware
+// characterization. cmd/swsim prints them; tests assert them within
+// tolerance.
+
+// StreamResult is one microbenchmark measurement.
+type StreamResult struct {
+	Name        string
+	Bytes       int64
+	Seconds     float64
+	GBperSecond float64
+}
+
+// StreamTriadDMA measures effective DMA bandwidth with the classic triad
+// a[i] = b[i] + s*c[i] over arrays of n float32 elements per CPE,
+// transferred in large contiguous per-CPE blocks (the [24] setup).
+func StreamTriadDMA(elemsPerCPE int) StreamResult {
+	m := NewMachine()
+	block := elemsPerCPE * 4
+	// Two loads (b, c) and one store (a), all contiguous and aligned.
+	for i, w := range []bool{false, false, true} {
+		req := DMARequest{
+			BlockBytes:  block,
+			BlockCount:  1,
+			StrideBytes: block,
+			OffsetBytes: i * block * NumCPE, // aligned
+			Write:       w,
+			CPEs:        NumCPE,
+		}
+		if err := m.IssueDMA("triad", req); err != nil {
+			panic(err)
+		}
+	}
+	if err := m.WaitDMA("triad", 3); err != nil {
+		panic(err)
+	}
+	bytes := int64(3) * int64(block) * NumCPE
+	sec := m.Elapsed()
+	return StreamResult{Name: "dma-triad", Bytes: bytes, Seconds: sec, GBperSecond: float64(bytes) / sec / 1e9}
+}
+
+// StreamGLDGST measures the global load/store fallback path bandwidth.
+func StreamGLDGST(bytes int64) StreamResult {
+	sec := GLCopyTime(bytes)
+	return StreamResult{Name: "gld-gst", Bytes: bytes, Seconds: sec, GBperSecond: float64(bytes) / sec / 1e9}
+}
+
+// RegCommBroadcast measures aggregate register-communication bandwidth:
+// every CPE broadcasts vectors along its row bus, the pattern the GEMM
+// micro-kernel uses. The model: the cluster moves bytes at
+// RegCommBandwidth with an RegCommLatencyCycles pipeline fill.
+func RegCommBroadcast(bytesPerCPE int64) StreamResult {
+	total := bytesPerCPE * NumCPE
+	sec := Seconds(RegCommLatencyCycles) + float64(total)/RegCommBandwidth
+	return StreamResult{Name: "reg-comm", Bytes: total, Seconds: sec, GBperSecond: float64(total) / sec / 1e9}
+}
+
+// DMAStridedEfficiency measures achieved bandwidth for a strided pattern
+// with the given block size — the curve that makes layout choice matter in
+// the schedule search (small blocks waste transactions and pay descriptor
+// overhead).
+func DMAStridedEfficiency(blockBytes, blockCount int) StreamResult {
+	m := NewMachine()
+	req := DMARequest{
+		BlockBytes:  blockBytes,
+		BlockCount:  blockCount,
+		StrideBytes: blockBytes * 3, // non-adjacent blocks
+		OffsetBytes: 0,
+		Write:       false,
+		CPEs:        NumCPE,
+	}
+	if err := m.IssueDMA("strided", req); err != nil {
+		panic(err)
+	}
+	if err := m.WaitDMA("strided", 1); err != nil {
+		panic(err)
+	}
+	bytes := int64(blockBytes) * int64(blockCount) * NumCPE
+	sec := m.Elapsed()
+	return StreamResult{Name: "dma-strided", Bytes: bytes, Seconds: sec, GBperSecond: float64(bytes) / sec / 1e9}
+}

@@ -1,0 +1,176 @@
+// Package trace records simulated execution timelines: every GEMM call,
+// transform and DMA transfer with its start time and duration on the
+// machine clock. Users diagnose schedules with it — above all whether
+// double buffering actually hides the DMA channel behind the compute
+// channel (the effect Fig. 10 measures).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies timeline events.
+type Kind string
+
+// Event kinds.
+const (
+	KindGemm      Kind = "gemm"
+	KindDMA       Kind = "dma"
+	KindTransform Kind = "transform"
+	KindWait      Kind = "wait"
+)
+
+// Event is one interval on the timeline.
+type Event struct {
+	Kind  Kind
+	Label string
+	Start float64 // seconds on the simulated clock
+	Dur   float64
+}
+
+// Log accumulates events of one run.
+type Log struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (l *Log) Add(kind Kind, label string, start, dur float64) {
+	l.Events = append(l.Events, Event{Kind: kind, Label: label, Start: start, Dur: dur})
+}
+
+// Len reports the event count.
+func (l *Log) Len() int { return len(l.Events) }
+
+// BusyTime returns the unioned busy time of one kind (overlapping events
+// counted once).
+func (l *Log) BusyTime(kind Kind) float64 {
+	type span struct{ s, e float64 }
+	var spans []span
+	for _, ev := range l.Events {
+		if ev.Kind == kind && ev.Dur > 0 {
+			spans = append(spans, span{ev.Start, ev.Start + ev.Dur})
+		}
+	}
+	if len(spans) == 0 {
+		return 0
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].s < spans[j].s })
+	total := 0.0
+	cur := spans[0]
+	for _, sp := range spans[1:] {
+		if sp.s <= cur.e {
+			if sp.e > cur.e {
+				cur.e = sp.e
+			}
+			continue
+		}
+		total += cur.e - cur.s
+		cur = sp
+	}
+	total += cur.e - cur.s
+	return total
+}
+
+// Overlap returns the time during which both kinds were busy — the measure
+// of how well prefetching hides memory latency.
+func (l *Log) Overlap(a, b Kind) float64 {
+	makeSpans := func(kind Kind) [][2]float64 {
+		var out [][2]float64
+		for _, ev := range l.Events {
+			if ev.Kind == kind && ev.Dur > 0 {
+				out = append(out, [2]float64{ev.Start, ev.Start + ev.Dur})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+		return out
+	}
+	sa, sb := makeSpans(a), makeSpans(b)
+	total := 0.0
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		lo := sa[i][0]
+		if sb[j][0] > lo {
+			lo = sb[j][0]
+		}
+		hi := sa[i][1]
+		if sb[j][1] < hi {
+			hi = sb[j][1]
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if sa[i][1] < sb[j][1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// End returns the latest event end time.
+func (l *Log) End() float64 {
+	end := 0.0
+	for _, ev := range l.Events {
+		if t := ev.Start + ev.Dur; t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// Summary renders per-kind busy times and the compute/DMA overlap ratio.
+func (l *Log) Summary() string {
+	var b strings.Builder
+	end := l.End()
+	fmt.Fprintf(&b, "timeline: %d events over %.4g ms\n", len(l.Events), end*1e3)
+	for _, k := range []Kind{KindGemm, KindTransform, KindDMA, KindWait} {
+		busy := l.BusyTime(k)
+		if busy == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s busy %.4g ms (%.0f%%)\n", k, busy*1e3, busy/end*100)
+	}
+	dma := l.BusyTime(KindDMA)
+	if dma > 0 {
+		ov := l.Overlap(KindGemm, KindDMA)
+		fmt.Fprintf(&b, "  dma hidden behind compute: %.0f%%\n", ov/dma*100)
+	}
+	return b.String()
+}
+
+// Gantt renders a coarse text Gantt chart (width columns).
+func (l *Log) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	end := l.End()
+	if end == 0 {
+		return "(empty timeline)\n"
+	}
+	var b strings.Builder
+	for _, k := range []Kind{KindGemm, KindTransform, KindDMA} {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		mark := byte(strings.ToUpper(string(k))[0])
+		for _, ev := range l.Events {
+			if ev.Kind != k {
+				continue
+			}
+			lo := int(ev.Start / end * float64(width))
+			hi := int((ev.Start + ev.Dur) / end * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-10s |%s|\n", k, row)
+	}
+	return b.String()
+}

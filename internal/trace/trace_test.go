@@ -1,0 +1,109 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"swatop/internal/core"
+	"swatop/internal/dsl"
+	"swatop/internal/exec"
+	"swatop/internal/gemm"
+	"swatop/internal/ir"
+	"swatop/internal/trace"
+)
+
+func TestBusyTimeUnionsOverlaps(t *testing.T) {
+	var l trace.Log
+	l.Add(trace.KindGemm, "a", 0, 2)
+	l.Add(trace.KindGemm, "b", 1, 2) // overlaps [1,2]
+	l.Add(trace.KindGemm, "c", 5, 1) // disjoint
+	if got := l.BusyTime(trace.KindGemm); got != 4 {
+		t.Fatalf("busy = %g, want 4", got)
+	}
+	if l.BusyTime(trace.KindDMA) != 0 {
+		t.Fatal("empty kind should be zero")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	var l trace.Log
+	l.Add(trace.KindGemm, "", 0, 4)
+	l.Add(trace.KindDMA, "", 2, 4)
+	if got := l.Overlap(trace.KindGemm, trace.KindDMA); got != 2 {
+		t.Fatalf("overlap = %g, want 2", got)
+	}
+	l2 := trace.Log{}
+	l2.Add(trace.KindGemm, "", 0, 1)
+	l2.Add(trace.KindDMA, "", 2, 1)
+	if l2.Overlap(trace.KindGemm, trace.KindDMA) != 0 {
+		t.Fatal("disjoint spans must not overlap")
+	}
+}
+
+func TestEndAndSummary(t *testing.T) {
+	var l trace.Log
+	l.Add(trace.KindGemm, "", 0, 1)
+	l.Add(trace.KindDMA, "", 0.5, 2)
+	if l.End() != 2.5 {
+		t.Fatalf("End = %g", l.End())
+	}
+	sum := l.Summary()
+	for _, want := range []string{"gemm", "dma", "hidden behind compute"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	gantt := l.Gantt(40)
+	if !strings.Contains(gantt, "G") || !strings.Contains(gantt, "D") {
+		t.Fatalf("gantt missing marks:\n%s", gantt)
+	}
+	empty := (&trace.Log{}).Gantt(40)
+	if !strings.Contains(empty, "empty") {
+		t.Fatal("empty gantt should say so")
+	}
+}
+
+// TestTraceOfRealRun: a double-buffered GEMM should show substantial DMA
+// time hidden behind compute.
+func TestTraceOfRealRun(t *testing.T) {
+	seed, err := gemm.Seed(gemm.Params{M: 512, N: 512, K: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dsl.Strategy{
+		Factors:      map[string]int{"m": 128, "n": 128, "k": 128},
+		Order:        []string{"m", "n", "k"},
+		Layouts:      map[string][]int{"C": {1, 0}},
+		Vec:          ir.VecM,
+		DoubleBuffer: true,
+	}
+	prog, err := core.Compile(seed, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binds, err := exec.BindVirtual(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log trace.Log
+	res, err := exec.Run(prog, binds, exec.Options{Trace: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	gemmBusy := log.BusyTime(trace.KindGemm)
+	dmaBusy := log.BusyTime(trace.KindDMA)
+	if gemmBusy <= 0 || dmaBusy <= 0 {
+		t.Fatalf("busy times: gemm %g dma %g", gemmBusy, dmaBusy)
+	}
+	if gemmBusy > res.Seconds || dmaBusy > res.Seconds*1.01 {
+		t.Fatalf("busy times exceed run time: gemm %g dma %g total %g", gemmBusy, dmaBusy, res.Seconds)
+	}
+	// The whole point of prefetching: most DMA time hides behind compute.
+	ov := log.Overlap(trace.KindGemm, trace.KindDMA)
+	if ov < 0.5*dmaBusy {
+		t.Fatalf("only %.0f%% of DMA hidden behind compute — prefetching broken?", ov/dmaBusy*100)
+	}
+}

@@ -1,0 +1,155 @@
+// Package workloads defines the evaluation inputs of the paper: the
+// convolution layers of VGG16, ResNet and YOLO (Figs. 5–7, Table 3), the
+// Listing-1 sweep of 75 convolution parameter configurations per batch size
+// (Table 1, Figs. 8–9) and the Listing-2 sweep of 559 matrix-multiplication
+// shapes (Table 2, Fig. 11).
+package workloads
+
+import (
+	"fmt"
+
+	"swatop/internal/gemm"
+	"swatop/internal/tensor"
+)
+
+// ConvLayer is one named convolution layer of a network.
+type ConvLayer struct {
+	Net  string
+	Name string
+	Ni   int
+	No   int
+	R    int // output rows = columns
+	K    int // kernel rows = columns
+}
+
+// Shape instantiates the layer for a batch size (stride 1, pre-padded).
+func (l ConvLayer) Shape(batch int) tensor.ConvShape {
+	return tensor.ConvShape{B: batch, Ni: l.Ni, No: l.No, Ro: l.R, Co: l.R, Kr: l.K, Kc: l.K}
+}
+
+func (l ConvLayer) String() string { return fmt.Sprintf("%s/%s", l.Net, l.Name) }
+
+// VGG16 returns the 13 convolution layers of VGG16 (Simonyan & Zisserman).
+func VGG16() []ConvLayer {
+	return []ConvLayer{
+		{"vgg16", "conv1_1", 3, 64, 224, 3},
+		{"vgg16", "conv1_2", 64, 64, 224, 3},
+		{"vgg16", "conv2_1", 64, 128, 112, 3},
+		{"vgg16", "conv2_2", 128, 128, 112, 3},
+		{"vgg16", "conv3_1", 128, 256, 56, 3},
+		{"vgg16", "conv3_2", 256, 256, 56, 3},
+		{"vgg16", "conv3_3", 256, 256, 56, 3},
+		{"vgg16", "conv4_1", 256, 512, 28, 3},
+		{"vgg16", "conv4_2", 512, 512, 28, 3},
+		{"vgg16", "conv4_3", 512, 512, 28, 3},
+		{"vgg16", "conv5_1", 512, 512, 14, 3},
+		{"vgg16", "conv5_2", 512, 512, 14, 3},
+		{"vgg16", "conv5_3", 512, 512, 14, 3},
+	}
+}
+
+// ResNet returns the distinct convolution shapes of ResNet-50's bottleneck
+// stages (stride-1 equivalents at the stage output resolutions, the form
+// swDNN-style libraries benchmark).
+func ResNet() []ConvLayer {
+	return []ConvLayer{
+		{"resnet", "conv1", 3, 64, 112, 7},
+		{"resnet", "res2_1x1a", 64, 64, 56, 1},
+		{"resnet", "res2_3x3", 64, 64, 56, 3},
+		{"resnet", "res2_1x1b", 64, 256, 56, 1},
+		{"resnet", "res3_1x1a", 256, 128, 28, 1},
+		{"resnet", "res3_3x3", 128, 128, 28, 3},
+		{"resnet", "res3_1x1b", 128, 512, 28, 1},
+		{"resnet", "res4_1x1a", 512, 256, 14, 1},
+		{"resnet", "res4_3x3", 256, 256, 14, 3},
+		{"resnet", "res4_1x1b", 256, 1024, 14, 1},
+		{"resnet", "res5_1x1a", 1024, 512, 7, 1},
+		{"resnet", "res5_3x3", 512, 512, 7, 3},
+		{"resnet", "res5_1x1b", 512, 2048, 7, 1},
+	}
+}
+
+// Yolo returns the backbone convolution layers of YOLOv1 (Redmon et al.),
+// one entry per distinct shape.
+func Yolo() []ConvLayer {
+	return []ConvLayer{
+		{"yolo", "conv1", 3, 64, 224, 7},
+		{"yolo", "conv2", 64, 192, 112, 3},
+		{"yolo", "conv3_1x1", 192, 128, 56, 1},
+		{"yolo", "conv3_3x3", 128, 256, 56, 3},
+		{"yolo", "conv3b_1x1", 256, 256, 56, 1},
+		{"yolo", "conv3b_3x3", 256, 512, 56, 3},
+		{"yolo", "conv4_1x1", 512, 256, 28, 1},
+		{"yolo", "conv4_3x3", 256, 512, 28, 3},
+		{"yolo", "conv4b_1x1", 512, 512, 28, 1},
+		{"yolo", "conv4b_3x3", 512, 1024, 28, 3},
+		{"yolo", "conv5_1x1", 1024, 512, 14, 1},
+		{"yolo", "conv5_3x3", 512, 1024, 14, 3},
+		{"yolo", "conv6", 1024, 1024, 7, 3},
+	}
+}
+
+// Networks returns the three CNNs of the evaluation.
+func Networks() map[string][]ConvLayer {
+	return map[string][]ConvLayer{
+		"vgg16":  VGG16(),
+		"resnet": ResNet(),
+		"yolo":   Yolo(),
+	}
+}
+
+// Listing1 reproduces the versatility sweep (§5.1.1): Ni, No over five
+// channel counts with Ni ≥ No, crossed with five output resolutions — 75
+// configurations per batch size, matching Table 1's per-cell case count.
+// (The listing as printed yields 60; the table's 75 cases per batch imply
+// a fifth Ro value, which we restore.)
+func Listing1(batch int) []tensor.ConvShape {
+	channels := []int{64, 128, 256, 384, 512}
+	rows := []int{16, 32, 64, 128, 256}
+	var out []tensor.ConvShape
+	for _, ni := range channels {
+		for _, no := range channels {
+			if ni < no {
+				continue
+			}
+			for _, r := range rows {
+				out = append(out, tensor.ConvShape{
+					B: batch, Ni: ni, No: no, Ro: r, Co: r, Kr: 3, Kc: 3,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Listing2Unaligned returns the 216 boundary-requiring GEMM shapes.
+func Listing2Unaligned() []gemm.Params {
+	sizes := []int{200, 500, 1000, 2000, 4000, 8000}
+	var out []gemm.Params
+	for _, m := range sizes {
+		for _, n := range sizes {
+			for _, k := range sizes {
+				out = append(out, gemm.Params{M: m, N: n, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// Listing2Aligned returns the 343 aligned GEMM shapes.
+func Listing2Aligned() []gemm.Params {
+	sizes := []int{256, 512, 768, 1024, 2048, 4096, 8192}
+	var out []gemm.Params
+	for _, m := range sizes {
+		for _, n := range sizes {
+			for _, k := range sizes {
+				out = append(out, gemm.Params{M: m, N: n, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// Batches are the batch sizes of the paper's evaluation: 1 for inference,
+// 32 and 128 for training.
+func Batches() []int { return []int{1, 32, 128} }

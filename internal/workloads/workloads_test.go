@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"testing"
+
+	"swatop/internal/conv"
+)
+
+func TestNetworkTables(t *testing.T) {
+	nets := Networks()
+	if len(nets) != 3 {
+		t.Fatalf("want 3 networks, got %d", len(nets))
+	}
+	if len(VGG16()) != 13 {
+		t.Fatalf("VGG16 has %d conv layers, want 13", len(VGG16()))
+	}
+	for name, layers := range nets {
+		if len(layers) == 0 {
+			t.Fatalf("%s has no layers", name)
+		}
+		for _, l := range layers {
+			s := l.Shape(32)
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s: %v", l, err)
+			}
+			if l.Net != name {
+				t.Errorf("layer %s tagged %q, in table %q", l.Name, l.Net, name)
+			}
+		}
+	}
+}
+
+func TestFirstLayersExcludedFromImplicit(t *testing.T) {
+	for _, layers := range Networks() {
+		if layers[0].Ni >= conv.MinNiImplicit {
+			t.Errorf("%s first layer should have tiny Ni (got %d)", layers[0], layers[0].Ni)
+		}
+	}
+}
+
+func TestListing1Counts(t *testing.T) {
+	for _, b := range Batches() {
+		shapes := Listing1(b)
+		if len(shapes) != 75 {
+			t.Fatalf("Listing1(%d) has %d configs, want 75 (Table 1's per-cell count)", b, len(shapes))
+		}
+		for _, s := range shapes {
+			if s.Ni < s.No {
+				t.Fatalf("constraint Ni >= No violated: %v", s)
+			}
+			if s.Kr != 3 || s.Kc != 3 {
+				t.Fatalf("Listing-1 kernels are 3x3: %v", s)
+			}
+			if s.B != b {
+				t.Fatalf("batch mismatch: %v", s)
+			}
+			if !conv.WinogradApplies(s) {
+				t.Fatalf("all Listing-1 configs must admit Winograd (Table 1 shows 75 cases): %v", s)
+			}
+		}
+	}
+}
+
+func TestListing2Counts(t *testing.T) {
+	un := Listing2Unaligned()
+	al := Listing2Aligned()
+	if len(un) != 216 {
+		t.Fatalf("unaligned count %d, want 216", len(un))
+	}
+	if len(al) != 343 {
+		t.Fatalf("aligned count %d, want 343", len(al))
+	}
+	if len(un)+len(al) != 559 {
+		t.Fatal("total must match the paper's 559 parameters")
+	}
+	for _, p := range al {
+		if p.M%256 != 0 && p.M%512 != 0 && p.M%768 != 0 {
+			// every aligned size is a multiple of 256 except 768 which is too
+			if p.M%128 != 0 {
+				t.Fatalf("aligned shape not 128-aligned: %v", p)
+			}
+		}
+	}
+	for _, p := range un {
+		if p.M%128 == 0 && p.N%128 == 0 && p.K%128 == 0 {
+			t.Fatalf("unaligned shape is fully aligned: %v", p)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	b := Batches()
+	if len(b) != 3 || b[0] != 1 || b[1] != 32 || b[2] != 128 {
+		t.Fatalf("batches = %v", b)
+	}
+}

@@ -1,0 +1,242 @@
+// Package swatop is an end-to-end reproduction of "swATOP: Automatically
+// Optimizing Deep Learning Operators on SW26010 Many-Core Processor"
+// (ICPP 2019): an auto-tuning framework that schedules deep-learning
+// operators (GEMM and three convolution algorithms) over tensorized
+// primitives, searches the schedule space with a static performance model,
+// and generates SW26010 C code — all evaluated against a functional, timed
+// simulator of one SW26010 core group.
+//
+// This top-level package is the stable facade: construct a Tuner, tune an
+// operator, inspect the chosen schedule, simulated performance and
+// generated C. The examples/ directory shows complete programs; cmd/swbench
+// regenerates every table and figure of the paper.
+package swatop
+
+import (
+	"fmt"
+
+	"swatop/internal/autotune"
+	"swatop/internal/baseline"
+	"swatop/internal/cache"
+	"swatop/internal/codegen"
+	"swatop/internal/conv"
+	"swatop/internal/costmodel"
+	"swatop/internal/exec"
+	"swatop/internal/gemm"
+	"swatop/internal/ir"
+	"swatop/internal/tensor"
+	"swatop/internal/trace"
+)
+
+// Library is a persistent schedule cache: tune each operator shape once,
+// reuse the schedule afterwards (the paper's offline-compiler / online-
+// autotuning deployment modes). Attach one to a Tuner with UseLibrary.
+type Library = cache.Library
+
+// NewLibrary creates an empty schedule cache; use Load/Save for
+// persistence.
+func NewLibrary() *Library { return cache.NewLibrary() }
+
+// ConvShape is the convolution geometry (stride 1, pre-padded input):
+// batch B, channels Ni→No, output Ro×Co, kernel Kr×Kc.
+type ConvShape = tensor.ConvShape
+
+// GemmParams is a matrix-multiplication problem size.
+type GemmParams = gemm.Params
+
+// Conv methods.
+const (
+	// Implicit is the implicit-GEMM direct convolution (Alg. 2).
+	Implicit = "implicit"
+	// Explicit is the im2col + GEMM convolution.
+	Explicit = "explicit"
+	// Winograd is the F(2×2,3×3) fast convolution.
+	Winograd = "winograd"
+)
+
+// Tuner is swATOP's performance-model-based autotuner with its fitted
+// Eq. (2) cost model (calibrated once against the simulated machine).
+type Tuner struct {
+	model *costmodel.GemmModel
+	lib   *Library
+}
+
+// UseLibrary attaches a schedule cache: tuning consults it first and
+// records new results into it.
+func (t *Tuner) UseLibrary(l *Library) { t.lib = l }
+
+// NewTuner fits the cost model (the per-machine offline calibration).
+func NewTuner() (*Tuner, error) {
+	m, err := costmodel.FitGemmModel()
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{model: m}, nil
+}
+
+// Tuned is a tuned operator: the selected schedule, its compiled program,
+// and its measured (simulated) performance.
+type Tuned struct {
+	program   *ir.Program
+	strategy  string
+	seconds   float64
+	spaceSize int
+	flops     int64
+}
+
+// TuneGemm searches the GEMM schedule space for a problem size.
+func (t *Tuner) TuneGemm(p GemmParams) (*Tuned, error) {
+	op, err := gemm.NewOp(p)
+	if err != nil {
+		return nil, err
+	}
+	return t.tune(op, p.FLOPs())
+}
+
+// TuneConv searches the schedule space of one convolution method.
+func (t *Tuner) TuneConv(method string, s ConvShape) (*Tuned, error) {
+	var op autotune.Operator
+	var err error
+	switch method {
+	case Implicit:
+		op, err = conv.NewImplicitOp(s)
+	case Explicit:
+		op, err = conv.NewExplicitOp(s)
+	case Winograd:
+		op, err = conv.NewWinogradOp(s)
+	default:
+		return nil, fmt.Errorf("swatop: unknown conv method %q", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t.tune(op, s.FLOPs())
+}
+
+func (t *Tuner) tune(op autotune.Operator, flops int64) (*Tuned, error) {
+	if t.lib != nil {
+		if e, ok := t.lib.Get(op.Name()); ok {
+			prog, err := op.Compile(e.Strategy())
+			if err == nil {
+				return &Tuned{
+					program:   prog,
+					strategy:  e.Strategy().String(),
+					seconds:   e.SimulatedSeconds,
+					spaceSize: e.SpaceSize,
+					flops:     flops,
+				}, nil
+			}
+			// A stale cache entry falls through to a fresh tuning.
+		}
+	}
+	res, err := autotune.ModelBased(op, t.model)
+	if err != nil {
+		return nil, err
+	}
+	if t.lib != nil {
+		t.lib.Put(cache.FromStrategy(op.Name(), res.Best.Strategy, res.Best.Measured, res.Valid))
+	}
+	return &Tuned{
+		program:   res.Best.Program,
+		strategy:  res.Best.Strategy.String(),
+		seconds:   res.Best.Measured,
+		spaceSize: res.Valid,
+		flops:     flops,
+	}, nil
+}
+
+// Seconds returns the simulated execution time of the tuned operator on
+// one SW26010 core group.
+func (t *Tuned) Seconds() float64 { return t.seconds }
+
+// GFLOPS returns the simulated core-group throughput.
+func (t *Tuned) GFLOPS() float64 { return float64(t.flops) / t.seconds / 1e9 }
+
+// Strategy describes the selected schedule.
+func (t *Tuned) Strategy() string { return t.strategy }
+
+// SpaceSize is the number of valid schedules that were considered.
+func (t *Tuned) SpaceSize() int { return t.spaceSize }
+
+// EmitC generates the SW26010 C code of the tuned operator.
+func (t *Tuned) EmitC() (string, error) { return codegen.EmitC(t.program) }
+
+// Trace re-runs the tuned operator with timeline recording and returns a
+// textual summary plus a coarse Gantt chart — showing, in particular, how
+// much DMA time double buffering hides behind compute.
+func (t *Tuned) Trace() (string, error) {
+	binds, err := exec.BindVirtual(t.program)
+	if err != nil {
+		return "", err
+	}
+	var log trace.Log
+	if _, err := exec.Run(t.program, binds, exec.Options{Trace: &log}); err != nil {
+		return "", err
+	}
+	return log.Summary() + log.Gantt(72), nil
+}
+
+// PrintIR renders the optimized intermediate representation.
+func (t *Tuned) PrintIR() string { return ir.Print(t.program) }
+
+// VerifyGemm executes the tuned GEMM functionally on the simulator and
+// checks the result against a reference implementation, returning the
+// maximum absolute error.
+func (t *Tuned) VerifyGemm() (float64, error) {
+	binds, err := gemm.Bind(t.program)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := exec.Run(t.program, binds, exec.Options{Functional: true}); err != nil {
+		return 0, err
+	}
+	want, err := tensor.ReferenceGemm(binds["A"], binds["B"], 1, 0)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.MaxAbsDiff(want, binds["C"])
+}
+
+// BaselineGemmSeconds measures the xMath manual GEMM on the same problem —
+// the paper's comparison target.
+func BaselineGemmSeconds(p GemmParams) (float64, error) {
+	prog, err := baseline.XMathGemm(p)
+	if err != nil {
+		return 0, err
+	}
+	return runTimed(prog)
+}
+
+// BaselineConvSeconds measures the best manual convolution (swDNN for
+// implicit, xMath-based manual code otherwise). An error for Implicit at
+// unsupported batch sizes mirrors swDNN's real limitation.
+func BaselineConvSeconds(method string, s ConvShape) (float64, error) {
+	var prog *ir.Program
+	var err error
+	switch method {
+	case Implicit:
+		prog, err = baseline.SwDNNImplicit(s)
+	case Explicit:
+		prog, err = baseline.ManualExplicit(s)
+	case Winograd:
+		prog, err = baseline.ManualWinograd(s)
+	default:
+		return 0, fmt.Errorf("swatop: unknown conv method %q", method)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return runTimed(prog)
+}
+
+func runTimed(prog *ir.Program) (float64, error) {
+	binds, err := exec.BindVirtual(prog)
+	if err != nil {
+		return 0, err
+	}
+	res, err := exec.Run(prog, binds, exec.Options{FastLoops: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}
