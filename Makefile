@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet fmt test race ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The tier-1 loop: what every change must keep green.
+ci: build vet fmt test race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -7,6 +7,9 @@ package swatop
 // grids.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -213,6 +216,59 @@ func BenchmarkAblationVectorization(b *testing.B) {
 			op.Space().Vecs = []ir.VecDim{ir.VecM}
 		})
 	}
+}
+
+// BenchmarkTuningWallClock measures what the candidate worker pool buys on
+// the host: the same VGG16 layer tuned sequentially and with one worker per
+// CPU. The selected schedule and the simulated machine-time ledger are
+// asserted identical — parallelism only shrinks wall clock.
+func BenchmarkTuningWallClock(b *testing.B) {
+	r := runner(b)
+	var s conv.Shape
+	for _, l := range workloads.Networks()["vgg16"] {
+		if sh := l.Shape(32); sh.Ni >= conv.MinNiImplicit {
+			s = sh
+			break
+		}
+	}
+	tune := func(w int) autotune.Result {
+		op, err := conv.NewImplicitOp(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := autotune.ModelBasedCtx(context.Background(), op, r.Model,
+			autotune.Options{Workers: w})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	// On single-CPU hosts still run a real pool, so the benchmark always
+	// compares the two code paths (there it measures pool overhead rather
+	// than speedup).
+	par := runtime.NumCPU()
+	if par < 2 {
+		par = 4
+	}
+	seq := tune(1)
+	pll := tune(par)
+	if seq.Best.Strategy.String() != pll.Best.Strategy.String() ||
+		seq.MachineSeconds != pll.MachineSeconds {
+		b.Fatal("parallel tuning diverged from the sequential reference")
+	}
+	b.Logf("%d candidates: %.2fs sequential vs %.2fs with %d workers (%.1fx wall clock)",
+		seq.SpaceSize, seq.WallSeconds, pll.WallSeconds, par,
+		seq.WallSeconds/pll.WallSeconds)
+	b.Run("workers-1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tune(1)
+		}
+	})
+	b.Run(fmt.Sprintf("workers-%d", par), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tune(par)
+		}
+	})
 }
 
 func BenchmarkFig11Padding(b *testing.B) {

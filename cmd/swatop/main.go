@@ -3,14 +3,15 @@
 //
 // Usage:
 //
-//	swatop gemm -m 2048 -n 2048 -k 2048 [-c out.c] [-ir]
-//	swatop conv -method implicit -b 32 -ni 256 -no 256 -r 28 [-kernel 3] [-c out.c] [-ir]
+//	swatop gemm -m 2048 -n 2048 -k 2048 [-workers N] [-c out.c] [-ir]
+//	swatop conv -method implicit -b 32 -ni 256 -no 256 -r 28 [-kernel 3] [-workers N] [-c out.c] [-ir]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"swatop"
 )
@@ -44,10 +45,12 @@ func gemmCmd(args []string) {
 	cOut := fs.String("c", "", "write generated C to file")
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
 	_ = fs.Parse(args)
 
-	tuner := mustTuner()
+	tuner := mustTuner(*workers)
 	tuned, err := tuner.TuneGemm(swatop.GemmParams{M: *m, N: *n, K: *k})
+	finishProgress()
 	check(err)
 	base, err := swatop.BaselineGemmSeconds(swatop.GemmParams{M: *m, N: *n, K: *k})
 	check(err)
@@ -72,11 +75,13 @@ func convCmd(args []string) {
 	cOut := fs.String("c", "", "write generated C to file")
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
 	_ = fs.Parse(args)
 
 	s := swatop.ConvShape{B: *b, Ni: *ni, No: *no, Ro: *r, Co: *r, Kr: *kk, Kc: *kk}
-	tuner := mustTuner()
+	tuner := mustTuner(*workers)
 	tuned, err := tuner.TuneConv(*method, s)
+	finishProgress()
 	check(err)
 	base, berr := swatop.BaselineConvSeconds(*method, s)
 	if berr != nil {
@@ -93,10 +98,25 @@ func convCmd(args []string) {
 	}
 }
 
-func mustTuner() *swatop.Tuner {
+var progressShown bool
+
+func mustTuner(workers int) *swatop.Tuner {
 	t, err := swatop.NewTuner()
 	check(err)
+	t.SetWorkers(workers)
+	t.SetProgress(func(done, valid int) {
+		progressShown = true
+		fmt.Fprintf(os.Stderr, "\rtuning: %d candidates (%d valid)", done, valid)
+	})
 	return t
+}
+
+// finishProgress terminates the in-place progress line before the report.
+func finishProgress() {
+	if progressShown {
+		fmt.Fprintln(os.Stderr)
+		progressShown = false
+	}
 }
 
 func reportTuned(tuned *swatop.Tuned, baseline float64, baseName string) {

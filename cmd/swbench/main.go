@@ -3,17 +3,19 @@
 //
 // Usage:
 //
-//	swbench [-full] [-csv] [experiment ...]
+//	swbench [-full] [-csv] [-workers N] [experiment ...]
 //
 // Experiments: substrate fig5 fig6 fig7 table1 fig8 table2 table3 fig9
 // fig10 fig11 (default: all). -full runs the complete parameter grids
-// instead of the quick stratified subsets.
+// instead of the quick stratified subsets. -workers tunes sweep entries
+// in parallel; every reported number is identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"swatop/internal/experiments"
@@ -22,6 +24,8 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run complete parameter grids (slow)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"concurrent tuning workers (results are worker-count independent)")
 	flag.Parse()
 
 	runner, err := experiments.NewRunner()
@@ -30,6 +34,12 @@ func main() {
 		os.Exit(1)
 	}
 	runner.Quick = !*full
+	runner.Workers = *workers
+	progress := false
+	runner.Progress = func(done, total int) {
+		progress = true
+		fmt.Fprintf(os.Stderr, "\r%d/%d tuned", done, total)
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -45,6 +55,10 @@ func main() {
 		}
 		start := time.Now()
 		table, err := e.Run(runner)
+		if progress {
+			fmt.Fprintln(os.Stderr)
+			progress = false
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swbench %s: %v\n", id, err)
 			os.Exit(1)

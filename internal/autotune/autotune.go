@@ -9,10 +9,22 @@
 // the black-box tuner the per-candidate compile+launch overhead a real
 // SW26010 batch system imposes, which is where "from days to minutes"
 // comes from.
+//
+// Candidates are streamed from schedule.Stream and evaluated on a worker
+// pool: compile+estimate (and compile+run) are independent per candidate,
+// so host wall time scales down with Options.Workers. The selection is
+// deterministic for any worker count — candidates are merged by
+// (predicted, index), so the chosen schedule, Valid count and
+// MachineSeconds are bit-identical to the sequential walk. MachineSeconds
+// is *simulated hardware* time and never changes with host parallelism;
+// only WallSeconds shrinks.
 package autotune
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"swatop/internal/costmodel"
@@ -30,7 +42,8 @@ const CompileLaunchOverheadSeconds = 40.0
 // Operator is anything tunable: it exposes its schedule seed and space and
 // compiles one strategy into an executable program. Single-nest operators
 // use core.Compile; multi-phase operators (Winograd, explicit convolution)
-// compose their own programs.
+// compose their own programs. Compile must be safe for concurrent calls:
+// the worker pool compiles many strategies of one operator at once.
 type Operator interface {
 	Name() string
 	Seed() *dsl.Seed
@@ -53,10 +66,12 @@ type Result struct {
 	// compiled successfully (the paper's "space size" column).
 	SpaceSize int
 	Valid     int
-	// WallSeconds is host time spent tuning.
+	// WallSeconds is host time spent tuning. It shrinks with
+	// Options.Workers.
 	WallSeconds float64
 	// MachineSeconds is simulated SW26010 time consumed: per-candidate
 	// compile+launch+run for the black-box tuner, one launch for swATOP.
+	// It is independent of host parallelism.
 	MachineSeconds float64
 }
 
@@ -66,56 +81,85 @@ type Result struct {
 // ranking error at negligible machine cost.
 const TopK = 3
 
-// ModelBased runs swATOP's performance-model autotuner: estimate every
-// valid candidate, run the top-k predictions, keep the measured best.
+// Options tunes the tuner's host-side execution. The zero value reproduces
+// the classic sequential behaviour.
+type Options struct {
+	// Workers is the number of concurrent compile+evaluate goroutines;
+	// values below 2 run sequentially. The selected schedule and the
+	// machine-time ledger are identical for every worker count.
+	Workers int
+	// TopK overrides the number of finalists the model-based tuner
+	// actually runs (default: the package TopK constant).
+	TopK int
+	// Progress, when non-nil, is called after each candidate is processed
+	// with the number of processed and valid candidates so far. It is
+	// always invoked from a single goroutine.
+	Progress func(done, valid int)
+}
+
+func (o Options) topK() int {
+	if o.TopK > 0 {
+		return o.TopK
+	}
+	return TopK
+}
+
+// ModelBased runs swATOP's performance-model autotuner sequentially:
+// estimate every valid candidate, run the top-k predictions, keep the
+// measured best.
 func ModelBased(op Operator, model *costmodel.GemmModel) (Result, error) {
+	return ModelBasedCtx(context.Background(), op, model, Options{})
+}
+
+// ModelBasedCtx is ModelBased with cancellation and a worker pool: workers
+// pull (index, strategy) pairs off the streaming enumerator, compile and
+// estimate independently, and a deterministic merge keeps the k best
+// predictions ordered by (predicted, index) — so the tuned schedule is
+// identical for any Workers value.
+func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel, opts Options) (Result, error) {
 	t0 := time.Now()
-	strategies, err := schedule.Enumerate(op.Seed(), op.Space())
+	k := opts.topK()
+	var top []ranked // ascending by (Predicted, idx), at most k
+	done, valid := 0, 0
+	sink := func(idx int, c *Candidate) {
+		done++
+		if c != nil {
+			valid++
+			top = insertRanked(top, ranked{c: c, idx: idx}, k)
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, valid)
+		}
+	}
+	eval := func(c *Candidate) error {
+		est, err := costmodel.EstimateProgram(model, c.Program)
+		if err != nil {
+			return fmt.Errorf("estimate %s: %w", c.Strategy, err)
+		}
+		c.Predicted = est.Total()
+		return nil
+	}
+	spaceSize, err := runPool(ctx, op, opts.Workers, eval, sink)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{SpaceSize: len(strategies)}
-	var top []*Candidate // ascending by prediction, at most TopK
-	for _, st := range strategies {
-		prog, err := op.Compile(st)
-		if err != nil {
-			continue // invalid point (capacity, layout rules, ...)
-		}
-		res.Valid++
-		est, err := costmodel.EstimateProgram(model, prog)
-		if err != nil {
-			return Result{}, fmt.Errorf("estimate %s: %w", st, err)
-		}
-		c := &Candidate{Strategy: st, Program: prog, Predicted: est.Total()}
-		pos := len(top)
-		for pos > 0 && top[pos-1].Predicted > c.Predicted {
-			pos--
-		}
-		if pos < TopK {
-			top = append(top, nil)
-			copy(top[pos+1:], top[pos:])
-			top[pos] = c
-			if len(top) > TopK {
-				top = top[:TopK]
-			}
-		}
-	}
+	res := Result{SpaceSize: spaceSize, Valid: valid}
 	if len(top) == 0 {
-		return Result{}, fmt.Errorf("autotune %s: no valid schedule in space of %d", op.Name(), len(strategies))
+		return Result{}, fmt.Errorf("autotune %s: no valid schedule in space of %d", op.Name(), spaceSize)
 	}
 	// The k finalists are emitted into one binary and measured in a single
 	// batch job: one compile+launch, k short runs.
 	res.MachineSeconds = CompileLaunchOverheadSeconds
 	var best *Candidate
-	for _, c := range top {
-		secs, err := runTimed(c.Program)
+	for _, r := range top {
+		secs, err := runTimed(r.c.Program)
 		if err != nil {
 			return Result{}, fmt.Errorf("autotune %s: candidate failed to run: %w", op.Name(), err)
 		}
-		c.Measured = secs
+		r.c.Measured = secs
 		res.MachineSeconds += secs
-		if best == nil || c.Measured < best.Measured {
-			best = c
+		if best == nil || r.c.Measured < best.Measured {
+			best = r.c
 		}
 	}
 	res.Best = *best
@@ -126,34 +170,228 @@ func ModelBased(op Operator, model *costmodel.GemmModel) (Result, error) {
 // BlackBox runs every valid candidate on the simulator and picks the
 // measured best — the brute-force baseline.
 func BlackBox(op Operator) (Result, error) {
+	return BlackBoxCtx(context.Background(), op, Options{})
+}
+
+// BlackBoxCtx is BlackBox with cancellation and a worker pool. The winner
+// is merged by (measured, index) and the machine-time ledger is summed in
+// index order, so both are identical for any Workers value.
+func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error) {
 	t0 := time.Now()
-	strategies, err := schedule.Enumerate(op.Seed(), op.Space())
+	type run struct {
+		idx  int
+		secs float64
+	}
+	var runs []run
+	var best ranked
+	done := 0
+	sink := func(idx int, c *Candidate) {
+		done++
+		if c != nil {
+			runs = append(runs, run{idx: idx, secs: c.Measured})
+			if best.c == nil || c.Measured < best.c.Measured ||
+				(c.Measured == best.c.Measured && idx < best.idx) {
+				best = ranked{c: c, idx: idx}
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, len(runs))
+		}
+	}
+	eval := func(c *Candidate) error {
+		secs, err := runTimed(c.Program)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Strategy, err)
+		}
+		c.Measured = secs
+		return nil
+	}
+	spaceSize, err := runPool(ctx, op, opts.Workers, eval, sink)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("blackbox %s: %w", op.Name(), err)
 	}
-	res := Result{SpaceSize: len(strategies)}
-	var best *Candidate
-	for _, st := range strategies {
-		prog, err := op.Compile(st)
-		if err != nil {
-			continue
-		}
-		res.Valid++
-		secs, err := runTimed(prog)
-		if err != nil {
-			return Result{}, fmt.Errorf("blackbox %s: %s: %w", op.Name(), st, err)
-		}
-		res.MachineSeconds += CompileLaunchOverheadSeconds + secs
-		if best == nil || secs < best.Measured {
-			best = &Candidate{Strategy: st, Program: prog, Measured: secs}
-		}
-	}
-	if best == nil {
+	if best.c == nil {
 		return Result{}, fmt.Errorf("blackbox %s: no valid schedule", op.Name())
 	}
-	res.Best = *best
+	res := Result{SpaceSize: spaceSize, Valid: len(runs)}
+	// Sum the ledger in enumeration order: float addition is not
+	// associative, and MachineSeconds must not depend on worker timing.
+	sort.Slice(runs, func(i, j int) bool { return runs[i].idx < runs[j].idx })
+	for _, r := range runs {
+		res.MachineSeconds += CompileLaunchOverheadSeconds + r.secs
+	}
+	res.Best = *best.c
 	res.WallSeconds = time.Since(t0).Seconds()
 	return res, nil
+}
+
+// ranked is a candidate with its stable enumeration index — the merge key
+// that makes parallel selection reproduce the sequential walk exactly.
+type ranked struct {
+	c   *Candidate
+	idx int
+}
+
+// insertRanked inserts r into the ascending (Predicted, idx) order of top,
+// keeping at most k entries. Processing candidates in any arrival order
+// yields the same final top-k as the sequential stable insertion.
+func insertRanked(top []ranked, r ranked, k int) []ranked {
+	pos := len(top)
+	for pos > 0 && (top[pos-1].c.Predicted > r.c.Predicted ||
+		(top[pos-1].c.Predicted == r.c.Predicted && top[pos-1].idx > r.idx)) {
+		pos--
+	}
+	if pos >= k {
+		return top
+	}
+	top = append(top, ranked{})
+	copy(top[pos+1:], top[pos:])
+	top[pos] = r
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// poolResult is one candidate's outcome crossing from a worker back to the
+// collector. cand is nil when the point failed to compile (invalid).
+type poolResult struct {
+	idx  int
+	cand *Candidate
+	err  error
+}
+
+// runPool streams the operator's schedule space through workers goroutines.
+// Each point is compiled; valid candidates are passed to eval on the
+// worker, and every processed point is delivered to sink on the collector
+// goroutine (so sink needs no locking). Returns the number of enumerated
+// points and the first (lowest-index) evaluation error, if any.
+func runPool(ctx context.Context, op Operator, workers int,
+	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, error) {
+	if workers < 2 {
+		return runSequential(ctx, op, eval, sink)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		idx int
+		st  dsl.Strategy
+	}
+	jobs := make(chan job, workers)
+	results := make(chan poolResult, workers)
+
+	total := 0
+	var streamErr error
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		defer close(jobs)
+		streamErr = schedule.Stream(op.Seed(), op.Space(), func(idx int, st dsl.Strategy) bool {
+			select {
+			case jobs <- job{idx: idx, st: st}:
+				total = idx + 1
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain after cancellation
+				}
+				r := poolResult{idx: j.idx}
+				if prog, err := op.Compile(j.st); err == nil {
+					c := &Candidate{Strategy: j.st, Program: prog}
+					if everr := eval(c); everr != nil {
+						r.err = everr
+					} else {
+						r.cand = c
+					}
+				}
+				select {
+				case results <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	firstErrIdx := -1
+	for r := range results {
+		if r.err != nil {
+			// Keep the lowest-index error so failures are reported
+			// deterministically, then stop feeding the pool.
+			if firstErr == nil || r.idx < firstErrIdx {
+				firstErr, firstErrIdx = r.err, r.idx
+			}
+			cancel()
+			continue
+		}
+		if firstErr == nil {
+			sink(r.idx, r.cand)
+		}
+	}
+	<-prodDone
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if streamErr != nil {
+		return 0, streamErr
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// runSequential is the single-goroutine pool: one pass over the stream,
+// evaluating in place. The reference behaviour every worker count must
+// reproduce.
+func runSequential(ctx context.Context, op Operator,
+	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, error) {
+	total := 0
+	var evalErr error
+	err := schedule.Stream(op.Seed(), op.Space(), func(idx int, st dsl.Strategy) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		total = idx + 1
+		prog, err := op.Compile(st)
+		if err != nil {
+			sink(idx, nil) // invalid point (capacity, layout rules, ...)
+			return true
+		}
+		c := &Candidate{Strategy: st, Program: prog}
+		if evalErr = eval(c); evalErr != nil {
+			return false
+		}
+		sink(idx, c)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return total, nil
 }
 
 func runTimed(prog *ir.Program) (float64, error) {

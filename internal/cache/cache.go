@@ -98,6 +98,16 @@ func (l *Library) Put(e Entry) {
 	l.entries[e.Signature] = e
 }
 
+// Delete removes a cached schedule (e.g. a stale entry whose strategy no
+// longer compiles), reporting whether it existed.
+func (l *Library) Delete(signature string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[signature]
+	delete(l.entries, signature)
+	return ok
+}
+
 // Len reports the number of cached schedules.
 func (l *Library) Len() int {
 	l.mu.RLock()

@@ -46,6 +46,26 @@ func TestLibraryPutGetCollision(t *testing.T) {
 	}
 }
 
+func TestLibraryDelete(t *testing.T) {
+	l := NewLibrary()
+	if l.Delete("x") {
+		t.Fatal("deleting a missing entry must report false")
+	}
+	l.Put(FromStrategy("x", sampleStrategy(), 1.0, 10))
+	if !l.Delete("x") {
+		t.Fatal("delete must report the entry existed")
+	}
+	if _, ok := l.Get("x"); ok || l.Len() != 0 {
+		t.Fatal("entry survived deletion")
+	}
+	// After deletion, a slower entry must be storable again: deletion clears
+	// the keep-the-faster collision policy.
+	l.Put(FromStrategy("x", sampleStrategy(), 5.0, 10))
+	if e, ok := l.Get("x"); !ok || e.SimulatedSeconds != 5.0 {
+		t.Fatalf("re-insert after delete failed: %+v", e)
+	}
+}
+
 func TestLibrarySaveLoad(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "schedules.json")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swatop/internal/baseline"
@@ -64,8 +65,15 @@ func methodApplies(method string, s conv.Shape) bool {
 
 // convFig runs one of Figs. 5–7: tune every applicable layer of the three
 // CNNs with the given method and compare with the manual implementation.
+// Layers are tuned in parallel across r.Workers goroutines; row order is
+// the deterministic network/layer/batch order regardless of worker count.
 func (r *Runner) convFig(method string, batches []int) ([]LayerRow, error) {
-	var rows []LayerRow
+	type job struct {
+		layer workloads.ConvLayer
+		batch int
+		shape conv.Shape
+	}
+	var jobs []job
 	for _, net := range []string{"vgg16", "resnet", "yolo"} {
 		layers := workloads.Networks()[net]
 		for li, l := range layers {
@@ -77,35 +85,39 @@ func (r *Runner) convFig(method string, batches []int) ([]LayerRow, error) {
 				if !methodApplies(method, s) {
 					continue
 				}
-				tuned, err := r.TuneConv(method, s)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s b=%d: %w", method, l, b, err)
-				}
-				row := LayerRow{
-					Net: l.Net, Layer: l.Name, Batch: b, Shape: s,
-					SwATOP:    tuned.Best.Measured,
-					SpaceSize: tuned.Valid,
-				}
-				row.Eff, row.ChipTFlops = Efficiency(s.FLOPs(), row.SwATOP)
-				manual, na, err := manualFor(method, s)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s b=%d manual: %w", method, l, b, err)
-				}
-				if na {
-					row.ManualNA = true
-				} else {
-					t, err := RunProgram(manual)
-					if err != nil {
-						return nil, fmt.Errorf("%s %s b=%d manual run: %w", method, l, b, err)
-					}
-					row.Manual = t
-					row.Speedup = t / row.SwATOP
-				}
-				rows = append(rows, row)
+				jobs = append(jobs, job{layer: l, batch: b, shape: s})
 			}
 		}
 	}
-	return rows, nil
+	return collectRows(r, len(jobs), func(i int) (LayerRow, bool, error) {
+		j := jobs[i]
+		l, b, s := j.layer, j.batch, j.shape
+		tuned, err := r.tuneConv(context.Background(), method, s, 1)
+		if err != nil {
+			return LayerRow{}, false, fmt.Errorf("%s %s b=%d: %w", method, l, b, err)
+		}
+		row := LayerRow{
+			Net: l.Net, Layer: l.Name, Batch: b, Shape: s,
+			SwATOP:    tuned.Best.Measured,
+			SpaceSize: tuned.Valid,
+		}
+		row.Eff, row.ChipTFlops = Efficiency(s.FLOPs(), row.SwATOP)
+		manual, na, err := manualFor(method, s)
+		if err != nil {
+			return LayerRow{}, false, fmt.Errorf("%s %s b=%d manual: %w", method, l, b, err)
+		}
+		if na {
+			row.ManualNA = true
+		} else {
+			t, err := RunProgram(manual)
+			if err != nil {
+				return LayerRow{}, false, fmt.Errorf("%s %s b=%d manual run: %w", method, l, b, err)
+			}
+			row.Manual = t
+			row.Speedup = t / row.SwATOP
+		}
+		return row, true, nil
+	})
 }
 
 // Fig5 reproduces Fig. 5: implicit CONV speedups over swDNN on the three

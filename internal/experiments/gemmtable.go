@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swatop/internal/baseline"
@@ -25,42 +26,50 @@ type Table2Row struct {
 	AvgSlowerPct float64
 }
 
-// GemmSweep runs the Listing-2 comparison (cached).
+// GemmSweep runs the Listing-2 comparison (cached). Shapes are tuned in
+// parallel across r.Workers goroutines; row order is the deterministic
+// listing order regardless of worker count.
 func (r *Runner) GemmSweep() ([]GemmRow, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.gemmCache != nil {
 		return r.gemmCache, nil
 	}
-	run := func(ps []gemm.Params, aligned bool, stride int) ([]GemmRow, error) {
-		var rows []GemmRow
+	type job struct {
+		p       gemm.Params
+		aligned bool
+	}
+	var jobs []job
+	add := func(ps []gemm.Params, aligned bool, stride int) {
 		for i, p := range ps {
 			if r.Quick && i%stride != 0 {
 				continue
 			}
-			tuned, err := r.TuneGemm(p)
-			if err != nil {
-				return nil, fmt.Errorf("gemm sweep %v: %w", p, err)
-			}
-			xm, err := baseline.XMathGemm(p)
-			if err != nil {
-				return nil, err
-			}
-			xt, err := RunProgram(xm)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, GemmRow{Params: p, Aligned: aligned, SwATOP: tuned.Best.Measured, XMath: xt})
+			jobs = append(jobs, job{p: p, aligned: aligned})
 		}
-		return rows, nil
 	}
-	un, err := run(workloads.Listing2Unaligned(), false, 9)
+	add(workloads.Listing2Unaligned(), false, 9)
+	add(workloads.Listing2Aligned(), true, 14)
+	rows, err := collectRows(r, len(jobs), func(i int) (GemmRow, bool, error) {
+		j := jobs[i]
+		tuned, err := r.tuneGemm(context.Background(), j.p, 1)
+		if err != nil {
+			return GemmRow{}, false, fmt.Errorf("gemm sweep %v: %w", j.p, err)
+		}
+		xm, err := baseline.XMathGemm(j.p)
+		if err != nil {
+			return GemmRow{}, false, err
+		}
+		xt, err := RunProgram(xm)
+		if err != nil {
+			return GemmRow{}, false, err
+		}
+		return GemmRow{Params: j.p, Aligned: j.aligned, SwATOP: tuned.Best.Measured, XMath: xt}, true, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	al, err := run(workloads.Listing2Aligned(), true, 14)
-	if err != nil {
-		return nil, err
-	}
-	r.gemmCache = append(un, al...)
+	r.gemmCache = rows
 	return r.gemmCache, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,29 +25,35 @@ type Fig10Row struct {
 // no-prefetch baseline performs best (as the paper does), then measure the
 // improvement auto-prefetching brings on each.
 func (r *Runner) Fig10() ([]Fig10Row, error) {
-	shapes := workloads.Listing1(32)
 	type cand struct {
 		s    conv.Shape
 		st   dsl.Strategy
 		base float64
 	}
-	var cands []cand
-	for i, s := range shapes {
+	var shapes []conv.Shape
+	for i, s := range workloads.Listing1(32) {
 		if i%7 != 0 {
 			continue // 11 candidates is enough to pick the best 8 from
 		}
+		shapes = append(shapes, s)
+	}
+	cands, err := collectRows(r, len(shapes), func(i int) (cand, bool, error) {
+		s := shapes[i]
 		op, err := conv.NewImplicitOp(s)
 		if err != nil {
-			return nil, err
+			return cand{}, false, err
 		}
 		op.Space().DoubleBuffer = []bool{false}
-		res, err := autotune.ModelBased(op, r.Model)
+		res, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %v: %w", s, err)
+			return cand{}, false, fmt.Errorf("fig10 %v: %w", s, err)
 		}
 		// Rank baselines by efficiency (time per flop) so "performs best"
 		// is shape-size independent.
-		cands = append(cands, cand{s: s, st: res.Best.Strategy, base: res.Best.Measured})
+		return cand{s: s, st: res.Best.Strategy, base: res.Best.Measured}, true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		ei := cands[i].base / float64(cands[i].s.FLOPs())
@@ -100,19 +107,22 @@ type Fig11Row struct {
 // Fig11 reproduces Fig. 11 over the Listing-2 unaligned shapes, keeping
 // (as the paper does) the cases whose traditional overhead exceeds 10%.
 func (r *Runner) Fig11() ([]Fig11Row, error) {
-	shapes := workloads.Listing2Unaligned()
-	var out []Fig11Row
-	for i, p := range shapes {
+	var shapes []gemm.Params
+	for i, p := range workloads.Listing2Unaligned() {
 		if r.Quick && i%9 != 0 {
 			continue
 		}
+		shapes = append(shapes, p)
+	}
+	return collectRows(r, len(shapes), func(i int) (Fig11Row, bool, error) {
+		p := shapes[i]
 		op, err := gemm.NewOp(p)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, false, err
 		}
-		res, err := autotune.ModelBased(op, r.Model)
+		res, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("fig11 %v: %w", p, err)
+			return Fig11Row{}, false, fmt.Errorf("fig11 %v: %w", p, err)
 		}
 		st := res.Best.Strategy
 
@@ -122,11 +132,11 @@ func (r *Runner) Fig11() ([]Fig11Row, error) {
 		tst.Padding = dsl.PadTraditional
 		tprog, err := op.Compile(tst)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, false, err
 		}
 		trad, err := RunProgram(tprog)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, false, err
 		}
 
 		// Boundary-free ideal: the same schedule on the rounded-up
@@ -138,15 +148,15 @@ func (r *Runner) Fig11() ([]Fig11Row, error) {
 		}
 		iop, err := gemm.NewOp(ip)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, false, err
 		}
 		iprog, err := iop.Compile(st)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, false, err
 		}
 		ideal, err := RunProgram(iprog)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, false, err
 		}
 
 		row := Fig11Row{
@@ -155,11 +165,8 @@ func (r *Runner) Fig11() ([]Fig11Row, error) {
 			LightPct:     (light/ideal - 1) * 100,
 			TraditionPct: (trad/ideal - 1) * 100,
 		}
-		if row.TraditionPct > 10 {
-			out = append(out, row)
-		}
-	}
-	return out, nil
+		return row, row.TraditionPct > 10, nil
+	})
 }
 
 func roundUp(v, f int) int {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,12 +42,21 @@ type Fig8Row struct {
 	AvgEff, MinEff, MaxEff float64
 }
 
-// sweep caches the Listing-1 grid results per (method, batch).
+// sweep caches the Listing-1 grid results per (method, batch). The grid's
+// (shape, method) cells are tuned in parallel across r.Workers goroutines;
+// rows keep the deterministic grid order regardless of worker count.
 func (r *Runner) sweep() ([]SweepRow, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.sweepCache != nil {
 		return r.sweepCache, nil
 	}
-	var rows []SweepRow
+	type job struct {
+		batch  int
+		shape  conv.Shape
+		method string
+	}
+	var jobs []job
 	for _, batch := range workloads.Batches() {
 		shapes := workloads.Listing1(batch)
 		for i, s := range shapes {
@@ -57,28 +67,35 @@ func (r *Runner) sweep() ([]SweepRow, error) {
 				if !methodApplies(method, s) {
 					continue
 				}
-				tuned, err := r.TuneConv(method, s)
-				if err != nil {
-					return nil, fmt.Errorf("sweep %s %v: %w", method, s, err)
-				}
-				row := SweepRow{Method: method, Batch: batch, Shape: s, SwATOP: tuned.Best.Measured}
-				row.Eff, row.TFlops = Efficiency(s.FLOPs(), row.SwATOP)
-				manual, na, err := manualFor(method, s)
-				if err != nil {
-					return nil, err
-				}
-				if na {
-					row.NA = true
-				} else {
-					t, err := RunProgram(manual)
-					if err != nil {
-						return nil, err
-					}
-					row.Manual = t
-				}
-				rows = append(rows, row)
+				jobs = append(jobs, job{batch: batch, shape: s, method: method})
 			}
 		}
+	}
+	rows, err := collectRows(r, len(jobs), func(i int) (SweepRow, bool, error) {
+		j := jobs[i]
+		tuned, err := r.tuneConv(context.Background(), j.method, j.shape, 1)
+		if err != nil {
+			return SweepRow{}, false, fmt.Errorf("sweep %s %v: %w", j.method, j.shape, err)
+		}
+		row := SweepRow{Method: j.method, Batch: j.batch, Shape: j.shape, SwATOP: tuned.Best.Measured}
+		row.Eff, row.TFlops = Efficiency(j.shape.FLOPs(), row.SwATOP)
+		manual, na, err := manualFor(j.method, j.shape)
+		if err != nil {
+			return SweepRow{}, false, err
+		}
+		if na {
+			row.NA = true
+		} else {
+			t, err := RunProgram(manual)
+			if err != nil {
+				return SweepRow{}, false, err
+			}
+			row.Manual = t
+		}
+		return row, true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r.sweepCache = rows
 	return rows, nil

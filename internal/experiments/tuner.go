@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"swatop/internal/autotune"
@@ -28,37 +29,64 @@ type Table3Row struct {
 }
 
 // Table3 reproduces Table 3 at batch 32 (the training configuration).
+// Layers are tuned in parallel across r.Workers goroutines; the per-network
+// machine-time aggregation keeps the deterministic layer order, so every
+// reported number is identical for any worker count (host wall sums are the
+// total of per-layer wall times, not elapsed time).
 func (r *Runner) Table3() ([]Table3Row, error) {
-	var out []Table3Row
+	type job struct {
+		net   string
+		layer workloads.ConvLayer
+	}
+	var jobs []job
 	for _, net := range []string{"vgg16", "resnet", "yolo"} {
 		layers := workloads.Networks()[net]
-		row := Table3Row{Net: net}
 		for li, l := range layers {
 			if r.Quick && li >= 5 {
 				break
 			}
-			s := l.Shape(32)
-			if !methodApplies("implicit", s) {
+			if !methodApplies("implicit", l.Shape(32)) {
 				continue
 			}
-			op, err := conv.NewImplicitOp(s)
-			if err != nil {
-				return nil, err
-			}
-			bb, err := autotune.BlackBox(op)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s blackbox: %w", l, err)
-			}
-			mb, err := autotune.ModelBased(op, r.Model)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s swATOP: %w", l, err)
+			jobs = append(jobs, job{net: net, layer: l})
+		}
+	}
+	type tuned struct {
+		net    string
+		bb, mb autotune.Result
+	}
+	results, err := collectRows(r, len(jobs), func(i int) (tuned, bool, error) {
+		j := jobs[i]
+		op, err := conv.NewImplicitOp(j.layer.Shape(32))
+		if err != nil {
+			return tuned{}, false, err
+		}
+		bb, err := autotune.BlackBoxCtx(context.Background(), op, autotune.Options{})
+		if err != nil {
+			return tuned{}, false, fmt.Errorf("table3 %s blackbox: %w", j.layer, err)
+		}
+		mb, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
+		if err != nil {
+			return tuned{}, false, fmt.Errorf("table3 %s swATOP: %w", j.layer, err)
+		}
+		return tuned{net: j.net, bb: bb, mb: mb}, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Table3Row
+	for _, net := range []string{"vgg16", "resnet", "yolo"} {
+		row := Table3Row{Net: net}
+		for _, t := range results {
+			if t.net != net {
+				continue
 			}
 			row.Layers++
-			row.SpaceTotal += bb.Valid
-			row.BlackBoxSec += bb.MachineSeconds
-			row.SwATOPSec += mb.MachineSeconds
-			row.WallBlack += bb.WallSeconds
-			row.WallSwATOP += mb.WallSeconds
+			row.SpaceTotal += t.bb.Valid
+			row.BlackBoxSec += t.bb.MachineSeconds
+			row.SwATOPSec += t.mb.MachineSeconds
+			row.WallBlack += t.bb.WallSeconds
+			row.WallSwATOP += t.mb.WallSeconds
 		}
 		if row.Layers == 0 {
 			continue
@@ -82,28 +110,31 @@ type Fig9Row struct {
 
 // Fig9 reproduces Fig. 9 on the Listing-1 grid (batch 32; the paper pools
 // all 225 points — full mode covers one batch's 75, quick a stratified 15).
+// Configurations run in parallel across r.Workers goroutines.
 func (r *Runner) Fig9() ([]Fig9Row, error) {
-	shapes := workloads.Listing1(32)
-	var out []Fig9Row
-	for i, s := range shapes {
+	var shapes []conv.Shape
+	for i, s := range workloads.Listing1(32) {
 		if r.Quick && i%7 != 0 {
 			continue
 		}
+		shapes = append(shapes, s)
+	}
+	return collectRows(r, len(shapes), func(i int) (Fig9Row, bool, error) {
+		s := shapes[i]
 		op, err := conv.NewImplicitOp(s)
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, false, err
 		}
-		bb, err := autotune.BlackBox(op)
+		bb, err := autotune.BlackBoxCtx(context.Background(), op, autotune.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %v blackbox: %w", s, err)
+			return Fig9Row{}, false, fmt.Errorf("fig9 %v blackbox: %w", s, err)
 		}
-		mb, err := autotune.ModelBased(op, r.Model)
+		mb, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %v model: %w", s, err)
+			return Fig9Row{}, false, fmt.Errorf("fig9 %v model: %w", s, err)
 		}
-		out = append(out, Fig9Row{Shape: s, Batch: 32, Ratio: bb.Best.Measured / mb.Best.Measured})
-	}
-	return out, nil
+		return Fig9Row{Shape: s, Batch: 32, Ratio: bb.Best.Measured / mb.Best.Measured}, true, nil
+	})
 }
 
 // Fig9Summary reports the average and worst ratio.

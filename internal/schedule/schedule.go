@@ -4,6 +4,12 @@
 // pruning (SPM capacity, vectorization rules, layout separability) happens
 // when candidates are lowered; this package produces the raw points
 // deterministically.
+//
+// Stream is the primary interface: it emits points one at a time, in a
+// fixed deterministic order, with a stable index — so consumers (the
+// worker-pool autotuner in particular) can process candidates concurrently
+// and still merge results reproducibly. Enumerate materializes the same
+// sequence into a slice.
 package schedule
 
 import (
@@ -11,25 +17,41 @@ import (
 	"sort"
 
 	"swatop/internal/dsl"
+	"swatop/internal/ir"
 )
 
-// MaxSpace bounds enumeration as a guard against accidental combinatorial
-// explosions in operator definitions.
+// MaxSpace bounds Enumerate as a guard against accidental combinatorial
+// explosions in operator definitions. It applies only to the materializing
+// path; Stream has no such limit because it holds one point at a time.
 const MaxSpace = 200000
 
-// Enumerate lists every point of a schedule space in a deterministic order.
-func Enumerate(seed *dsl.Seed, sp *dsl.Space) ([]dsl.Strategy, error) {
-	axes := make([]string, 0, len(sp.Factors))
+// plan is a schedule space resolved against its seed: validated axis and
+// tensor names, clipped factor menus, and defaulted option axes. It is the
+// shared front half of Stream, Enumerate and Size.
+type plan struct {
+	axes          []string
+	factorChoices [][]int
+	orders        [][]string
+	tensors       []string
+	layoutChoices [][][]int
+	vecs          []ir.VecDim
+	dbs           []bool
+	pads          []dsl.PaddingMode
+}
+
+// resolve validates a space against a seed and fixes the enumeration order.
+func resolve(seed *dsl.Seed, sp *dsl.Space) (*plan, error) {
+	p := &plan{}
 	for name := range sp.Factors {
 		if _, err := seed.Axis(name); err != nil {
 			return nil, fmt.Errorf("schedule: %w", err)
 		}
-		axes = append(axes, name)
+		p.axes = append(p.axes, name)
 	}
-	sort.Strings(axes)
+	sort.Strings(p.axes)
 
-	factorChoices := make([][]int, len(axes))
-	for i, name := range axes {
+	p.factorChoices = make([][]int, len(p.axes))
+	for i, name := range p.axes {
 		ax, _ := seed.Axis(name)
 		var valid []int
 		seen := map[int]bool{}
@@ -42,59 +64,85 @@ func Enumerate(seed *dsl.Seed, sp *dsl.Space) ([]dsl.Strategy, error) {
 		if len(valid) == 0 {
 			valid = []int{1}
 		}
-		factorChoices[i] = valid
+		p.factorChoices[i] = valid
 	}
 
-	orders := sp.Orders
-	if len(orders) == 0 {
-		orders = [][]string{nil} // declaration order
+	p.orders = sp.Orders
+	if len(p.orders) == 0 {
+		p.orders = [][]string{nil} // declaration order
 	}
-	tensors := make([]string, 0, len(sp.Layouts))
 	for name := range sp.Layouts {
 		if _, err := seed.Tensor(name); err != nil {
 			return nil, fmt.Errorf("schedule: %w", err)
 		}
-		tensors = append(tensors, name)
+		p.tensors = append(p.tensors, name)
 	}
-	sort.Strings(tensors)
-	layoutChoices := make([][][]int, len(tensors))
-	for i, name := range tensors {
-		layoutChoices[i] = sp.Layouts[name]
+	sort.Strings(p.tensors)
+	p.layoutChoices = make([][][]int, len(p.tensors))
+	for i, name := range p.tensors {
+		p.layoutChoices[i] = sp.Layouts[name]
 	}
-	vecs := sp.Vecs
-	if len(vecs) == 0 {
+	p.vecs = sp.Vecs
+	if len(p.vecs) == 0 {
 		return nil, fmt.Errorf("schedule: space has no vectorization candidates")
 	}
-	dbs := sp.DoubleBuffer
-	if len(dbs) == 0 {
-		dbs = []bool{true}
+	p.dbs = sp.DoubleBuffer
+	if len(p.dbs) == 0 {
+		p.dbs = []bool{true}
 	}
-	pads := sp.Padding
-	if len(pads) == 0 {
-		pads = []dsl.PaddingMode{dsl.PadLightweight}
+	p.pads = sp.Padding
+	if len(p.pads) == 0 {
+		p.pads = []dsl.PaddingMode{dsl.PadLightweight}
 	}
+	return p, nil
+}
 
-	size := len(orders) * len(vecs) * len(dbs) * len(pads)
-	for _, fc := range factorChoices {
+// size is the exact number of points the plan will emit.
+func (p *plan) size() int {
+	size := len(p.orders) * len(p.vecs) * len(p.dbs) * len(p.pads)
+	for _, fc := range p.factorChoices {
 		size *= len(fc)
 	}
-	for _, lc := range layoutChoices {
+	for _, lc := range p.layoutChoices {
 		size *= len(lc)
 	}
-	if size > MaxSpace {
-		return nil, fmt.Errorf("schedule: space of %d points exceeds the %d guard", size, MaxSpace)
+	return size
+}
+
+// Size reports the number of points in a schedule space without
+// enumerating it.
+func Size(seed *dsl.Seed, sp *dsl.Space) (int, error) {
+	p, err := resolve(seed, sp)
+	if err != nil {
+		return 0, err
 	}
+	return p.size(), nil
+}
 
-	var out []dsl.Strategy
-	factorIdx := make([]int, len(axes))
-	layoutIdx := make([]int, len(tensors))
+// Stream emits every point of a schedule space, in the same deterministic
+// order as Enumerate, with a stable zero-based index. It holds one point at
+// a time (no MaxSpace guard applies). Emitted strategies carry freshly
+// copied maps, so they may be retained and mutated independently — and
+// handed to concurrent consumers. yield returning false stops the
+// enumeration early without error.
+func Stream(seed *dsl.Seed, sp *dsl.Space, yield func(idx int, st dsl.Strategy) bool) error {
+	p, err := resolve(seed, sp)
+	if err != nil {
+		return err
+	}
+	p.stream(yield)
+	return nil
+}
 
-	var recLayouts func(d int, st dsl.Strategy)
-	emit := func(st dsl.Strategy) {
-		for _, order := range orders {
-			for _, vec := range vecs {
-				for _, db := range dbs {
-					for _, pad := range pads {
+// stream walks the plan's Cartesian product recursively, emitting points
+// until yield declines. Reports whether the walk ran to completion.
+func (p *plan) stream(yield func(idx int, st dsl.Strategy) bool) bool {
+	idx := 0
+	emit := func(st dsl.Strategy) bool {
+		for _, order := range p.orders {
+			for _, vec := range p.vecs {
+				for _, db := range p.dbs {
+					for _, pad := range p.pads {
 						s := st
 						s.Order = order
 						s.Vec = vec
@@ -103,36 +151,61 @@ func Enumerate(seed *dsl.Seed, sp *dsl.Space) ([]dsl.Strategy, error) {
 						// Deep-copy maps so strategies are independent.
 						s.Factors = copyIntMap(st.Factors)
 						s.Layouts = copyLayoutMap(st.Layouts)
-						out = append(out, s)
+						if !yield(idx, s) {
+							return false
+						}
+						idx++
 					}
 				}
 			}
 		}
+		return true
 	}
-	recLayouts = func(d int, st dsl.Strategy) {
-		if d == len(tensors) {
-			emit(st)
-			return
+	var recLayouts func(d int, st dsl.Strategy) bool
+	recLayouts = func(d int, st dsl.Strategy) bool {
+		if d == len(p.tensors) {
+			return emit(st)
 		}
-		for i := range layoutChoices[d] {
-			layoutIdx[d] = i
-			st.Layouts[tensors[d]] = layoutChoices[d][i]
-			recLayouts(d+1, st)
+		for i := range p.layoutChoices[d] {
+			st.Layouts[p.tensors[d]] = p.layoutChoices[d][i]
+			if !recLayouts(d+1, st) {
+				return false
+			}
 		}
+		return true
 	}
-	var recFactors func(d int, st dsl.Strategy)
-	recFactors = func(d int, st dsl.Strategy) {
-		if d == len(axes) {
-			recLayouts(0, st)
-			return
+	var recFactors func(d int, st dsl.Strategy) bool
+	recFactors = func(d int, st dsl.Strategy) bool {
+		if d == len(p.axes) {
+			return recLayouts(0, st)
 		}
-		for i := range factorChoices[d] {
-			factorIdx[d] = i
-			st.Factors[axes[d]] = factorChoices[d][i]
-			recFactors(d+1, st)
+		for i := range p.factorChoices[d] {
+			st.Factors[p.axes[d]] = p.factorChoices[d][i]
+			if !recFactors(d+1, st) {
+				return false
+			}
 		}
+		return true
 	}
-	recFactors(0, dsl.Strategy{Factors: map[string]int{}, Layouts: map[string][]int{}})
+	return recFactors(0, dsl.Strategy{Factors: map[string]int{}, Layouts: map[string][]int{}})
+}
+
+// Enumerate lists every point of a schedule space in a deterministic order
+// — a materializing wrapper over Stream, with the MaxSpace guard.
+func Enumerate(seed *dsl.Seed, sp *dsl.Space) ([]dsl.Strategy, error) {
+	p, err := resolve(seed, sp)
+	if err != nil {
+		return nil, err
+	}
+	size := p.size()
+	if size > MaxSpace {
+		return nil, fmt.Errorf("schedule: space of %d points exceeds the %d guard", size, MaxSpace)
+	}
+	out := make([]dsl.Strategy, 0, size)
+	p.stream(func(idx int, st dsl.Strategy) bool {
+		out = append(out, st)
+		return true
+	})
 	return out, nil
 }
 

@@ -87,6 +87,118 @@ func TestEnumerateOptionAxes(t *testing.T) {
 	}
 }
 
+func TestStreamMatchesEnumerate(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 32, 64)
+	sp.FactorVar("n", 32, 64)
+	sp.Reorder("m", "n", "k")
+	sp.Reorder("n", "m", "k")
+	sp.Layout("A", 0, 1).Layout("A", 1, 0)
+	want, err := Enumerate(seed(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Size(seed(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("Size = %d, Enumerate = %d", n, len(want))
+	}
+	i := 0
+	err = Stream(seed(), sp, func(idx int, st dsl.Strategy) bool {
+		if idx != i {
+			t.Fatalf("index %d out of order, want %d", idx, i)
+		}
+		if st.String() != want[idx].String() {
+			t.Fatalf("point %d differs:\nstream    %s\nenumerate %s", idx, st, want[idx])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("stream emitted %d points, want %d", i, len(want))
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 8, 16, 32, 64)
+	sp.FactorVar("n", 8, 16, 32, 64)
+	count := 0
+	err := Stream(seed(), sp, func(idx int, st dsl.Strategy) bool {
+		count++
+		return count < 3
+	})
+	if err != nil {
+		t.Fatalf("early stop must not error: %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("stream emitted %d points after stop at 3", count)
+	}
+}
+
+func TestStreamEmitsIndependentStrategies(t *testing.T) {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 8, 16)
+	var first, second dsl.Strategy
+	_ = Stream(seed(), sp, func(idx int, st dsl.Strategy) bool {
+		if idx == 0 {
+			first = st
+		} else if idx == 1 {
+			second = st
+			return false
+		}
+		return true
+	})
+	first.Factors["m"] = 999
+	if second.Factors["m"] == 999 {
+		t.Fatal("streamed strategies share factor maps")
+	}
+}
+
+func TestStreamBypassesSpaceGuard(t *testing.T) {
+	// A space too large for Enumerate still streams: the guard only protects
+	// the materializing path.
+	big := dsl.NewSeed("op")
+	big.AddAxis("m", 4096, dsl.RoleM)
+	big.AddAxis("n", 4096, dsl.RoleN)
+	big.AddAxis("k", 4096, dsl.RoleK)
+	big.AddTensor("A", []int{4096, 4096}, dsl.OperandA, dsl.Dim("m"), dsl.Dim("k"))
+	big.AddTensor("B", []int{4096, 4096}, dsl.OperandB, dsl.Dim("k"), dsl.Dim("n"))
+	big.AddTensor("C", []int{4096, 4096}, dsl.OperandC, dsl.Dim("m"), dsl.Dim("n"))
+	sp := dsl.NewSpace()
+	var huge []int
+	for f := 1; f <= 600; f++ {
+		huge = append(huge, f)
+	}
+	sp.FactorVar("m", huge...)
+	sp.FactorVar("n", huge...)
+	n, err := Size(big, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= MaxSpace {
+		t.Fatalf("test space of %d points does not exceed the %d guard", n, MaxSpace)
+	}
+	if _, err := Enumerate(big, sp); err == nil {
+		t.Fatal("Enumerate must trip the guard")
+	}
+	count := 0
+	if err := Stream(big, sp, func(idx int, st dsl.Strategy) bool {
+		count++
+		return count < 5
+	}); err != nil {
+		t.Fatalf("Stream must ignore the guard: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("stream emitted %d points, want 5", count)
+	}
+}
+
 func TestEnumerateErrors(t *testing.T) {
 	sp := dsl.NewSpace()
 	sp.FactorVar("ghost", 2)

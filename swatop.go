@@ -13,6 +13,7 @@
 package swatop
 
 import (
+	"context"
 	"fmt"
 
 	"swatop/internal/autotune"
@@ -57,13 +58,27 @@ const (
 // Tuner is swATOP's performance-model-based autotuner with its fitted
 // Eq. (2) cost model (calibrated once against the simulated machine).
 type Tuner struct {
-	model *costmodel.GemmModel
-	lib   *Library
+	model    *costmodel.GemmModel
+	lib      *Library
+	workers  int
+	progress func(done, valid int)
 }
 
 // UseLibrary attaches a schedule cache: tuning consults it first and
 // records new results into it.
 func (t *Tuner) UseLibrary(l *Library) { t.lib = l }
+
+// SetWorkers sets the number of concurrent compile+estimate goroutines the
+// tuner uses (values below 2 run sequentially). The selected schedule, its
+// simulated performance and the tuning ledger's MachineSeconds are
+// identical for every worker count — candidates are merged by
+// (prediction, enumeration index) — so parallelism only shrinks host wall
+// time.
+func (t *Tuner) SetWorkers(n int) { t.workers = n }
+
+// SetProgress installs a tuning progress callback, invoked from a single
+// goroutine after each candidate with the processed and valid counts.
+func (t *Tuner) SetProgress(fn func(done, valid int)) { t.progress = fn }
 
 // NewTuner fits the cost model (the per-machine offline calibration).
 func NewTuner() (*Tuner, error) {
@@ -86,15 +101,27 @@ type Tuned struct {
 
 // TuneGemm searches the GEMM schedule space for a problem size.
 func (t *Tuner) TuneGemm(p GemmParams) (*Tuned, error) {
+	return t.TuneGemmCtx(context.Background(), p)
+}
+
+// TuneGemmCtx is TuneGemm with cancellation: the candidate search stops
+// promptly when ctx is canceled and returns ctx's error.
+func (t *Tuner) TuneGemmCtx(ctx context.Context, p GemmParams) (*Tuned, error) {
 	op, err := gemm.NewOp(p)
 	if err != nil {
 		return nil, err
 	}
-	return t.tune(op, p.FLOPs())
+	return t.tune(ctx, op, p.FLOPs())
 }
 
 // TuneConv searches the schedule space of one convolution method.
 func (t *Tuner) TuneConv(method string, s ConvShape) (*Tuned, error) {
+	return t.TuneConvCtx(context.Background(), method, s)
+}
+
+// TuneConvCtx is TuneConv with cancellation: the candidate search stops
+// promptly when ctx is canceled and returns ctx's error.
+func (t *Tuner) TuneConvCtx(ctx context.Context, method string, s ConvShape) (*Tuned, error) {
 	var op autotune.Operator
 	var err error
 	switch method {
@@ -110,10 +137,10 @@ func (t *Tuner) TuneConv(method string, s ConvShape) (*Tuned, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.tune(op, s.FLOPs())
+	return t.tune(ctx, op, s.FLOPs())
 }
 
-func (t *Tuner) tune(op autotune.Operator, flops int64) (*Tuned, error) {
+func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64) (*Tuned, error) {
 	if t.lib != nil {
 		if e, ok := t.lib.Get(op.Name()); ok {
 			prog, err := op.Compile(e.Strategy())
@@ -126,10 +153,14 @@ func (t *Tuner) tune(op autotune.Operator, flops int64) (*Tuned, error) {
 					flops:     flops,
 				}, nil
 			}
-			// A stale cache entry falls through to a fresh tuning.
+			// The entry no longer compiles (stale schema, changed menus):
+			// drop it so it cannot shadow the fresh result below, then
+			// fall through to a full tuning.
+			t.lib.Delete(op.Name())
 		}
 	}
-	res, err := autotune.ModelBased(op, t.model)
+	res, err := autotune.ModelBasedCtx(ctx, op, t.model,
+		autotune.Options{Workers: t.workers, Progress: t.progress})
 	if err != nil {
 		return nil, err
 	}

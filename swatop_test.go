@@ -1,6 +1,8 @@
 package swatop
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -128,6 +130,86 @@ func TestFacadeLibraryCache(t *testing.T) {
 	}
 	if third.Strategy() != first.Strategy() {
 		t.Fatal("persisted schedule differs")
+	}
+}
+
+func TestFacadeStaleLibraryEntryRetunes(t *testing.T) {
+	tn := sharedTuner(t)
+	lib := NewLibrary()
+	tn.UseLibrary(lib)
+	defer tn.UseLibrary(nil)
+
+	p := GemmParams{M: 192, N: 192, K: 192}
+	first, err := tn.TuneGemm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := lib.Signatures()[0]
+	// Poison the entry: a tile factor far beyond the SPM makes the cached
+	// strategy uncompilable, and the tiny recorded time means the
+	// keep-the-faster policy would shield it from Put forever — only an
+	// explicit Delete can clear it.
+	e, _ := lib.Get(sig)
+	e.Factors = map[string]int{"m": 1 << 20, "n": 1 << 20, "k": 1 << 20}
+	e.SimulatedSeconds = 1e-12
+	lib.Delete(sig)
+	lib.Put(e)
+
+	second, err := tn.TuneGemm(p)
+	if err != nil {
+		t.Fatalf("stale entry must fall back to a fresh tuning: %v", err)
+	}
+	if second.Strategy() != first.Strategy() || second.Seconds() != first.Seconds() {
+		t.Fatal("retune after stale entry picked a different schedule")
+	}
+	got, ok := lib.Get(sig)
+	if !ok {
+		t.Fatal("retune must restore the library entry")
+	}
+	if got.Factors["m"] == 1<<20 {
+		t.Fatal("stale entry still cached after retuning")
+	}
+}
+
+func TestFacadeParallelMatchesSequential(t *testing.T) {
+	tn := sharedTuner(t)
+	p := GemmParams{M: 256, N: 192, K: 128}
+	seq, err := tn.TuneGemm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.SetWorkers(8)
+	lastDone := 0
+	tn.SetProgress(func(done, valid int) { lastDone = done })
+	defer func() {
+		tn.SetWorkers(0)
+		tn.SetProgress(nil)
+	}()
+	par, err := tn.TuneGemm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Strategy() != seq.Strategy() || par.Seconds() != seq.Seconds() ||
+		par.SpaceSize() != seq.SpaceSize() {
+		t.Fatalf("parallel tuning differs from sequential:\nseq %s %.6g %d\npar %s %.6g %d",
+			seq.Strategy(), seq.Seconds(), seq.SpaceSize(),
+			par.Strategy(), par.Seconds(), par.SpaceSize())
+	}
+	if lastDone == 0 {
+		t.Fatal("progress callback never fired")
+	}
+}
+
+func TestFacadeCancellation(t *testing.T) {
+	tn := sharedTuner(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tn.TuneGemmCtx(ctx, GemmParams{M: 256, N: 256, K: 256}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	s := ConvShape{B: 4, Ni: 32, No: 32, Ro: 8, Co: 8, Kr: 3, Kc: 3}
+	if _, err := tn.TuneConvCtx(ctx, Implicit, s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("conv: want context.Canceled, got %v", err)
 	}
 }
 
