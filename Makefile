@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race ci bench
+.PHONY: all build vet unreachable fmt test race fuzz ci bench
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Dedicated unreachable-code pass: recover()-based panic isolation makes it
+# easy to leave dead branches behind.
+unreachable:
+	$(GO) vet -unreachable ./...
 
 # Fails when any file needs gofmt.
 fmt:
@@ -23,8 +28,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Fuzz smoke: the schedule-library loader must quarantine arbitrary corrupt
+# input, never crash on it.
+fuzz:
+	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzLibraryLoad -fuzztime 10s
+
 # The tier-1 loop: what every change must keep green.
-ci: build vet fmt test race
+ci: build vet unreachable fmt test race fuzz
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

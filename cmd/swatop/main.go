@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"swatop"
 )
@@ -32,8 +34,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  swatop gemm -m M -n N -k K [-c out.c] [-ir]
-  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-c out.c] [-ir]`)
+  swatop gemm -m M -n N -k K [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir]
+  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir]`)
 	os.Exit(2)
 }
 
@@ -46,10 +48,13 @@ func gemmCmd(args []string) {
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
+	fallback, retries, deadline := resilienceFlags(fs)
 	_ = fs.Parse(args)
 
-	tuner := mustTuner(*workers)
-	tuned, err := tuner.TuneGemm(swatop.GemmParams{M: *m, N: *n, K: *k})
+	tuner := mustTuner(*workers, *fallback, *retries)
+	ctx, cancel := deadlineCtx(*deadline)
+	defer cancel()
+	tuned, err := tuner.TuneGemmCtx(ctx, swatop.GemmParams{M: *m, N: *n, K: *k})
 	finishProgress()
 	check(err)
 	base, err := swatop.BaselineGemmSeconds(swatop.GemmParams{M: *m, N: *n, K: *k})
@@ -76,11 +81,14 @@ func convCmd(args []string) {
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
+	fallback, retries, deadline := resilienceFlags(fs)
 	_ = fs.Parse(args)
 
 	s := swatop.ConvShape{B: *b, Ni: *ni, No: *no, Ro: *r, Co: *r, Kr: *kk, Kc: *kk}
-	tuner := mustTuner(*workers)
-	tuned, err := tuner.TuneConv(*method, s)
+	tuner := mustTuner(*workers, *fallback, *retries)
+	ctx, cancel := deadlineCtx(*deadline)
+	defer cancel()
+	tuned, err := tuner.TuneConvCtx(ctx, *method, s)
 	finishProgress()
 	check(err)
 	base, berr := swatop.BaselineConvSeconds(*method, s)
@@ -100,10 +108,35 @@ func convCmd(args []string) {
 
 var progressShown bool
 
-func mustTuner(workers int) *swatop.Tuner {
+// resilienceFlags registers the failure-policy flags shared by both
+// subcommands.
+func resilienceFlags(fs *flag.FlagSet) (fallback *bool, retries *int, deadline *time.Duration) {
+	fallback = fs.Bool("fallback", false,
+		"serve the manual baseline schedule (flagged degraded) when tuning fails or the deadline expires")
+	retries = fs.Int("retries", 1,
+		"total attempts per candidate measurement for transient errors (capped exponential backoff)")
+	deadline = fs.Duration("deadline", 0,
+		"tuning time budget (0 = none); with -fallback an expired budget degrades instead of failing")
+	return
+}
+
+func deadlineCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+func mustTuner(workers int, fallback bool, retries int) *swatop.Tuner {
 	t, err := swatop.NewTuner()
 	check(err)
 	t.SetWorkers(workers)
+	if fallback {
+		t.SetFallback(swatop.FallbackBaseline)
+	}
+	if retries > 1 {
+		t.SetRetry(retries, 0, 0) // library defaults for base/max delay
+	}
 	t.SetProgress(func(done, valid int) {
 		progressShown = true
 		fmt.Fprintf(os.Stderr, "\rtuning: %d candidates (%d valid)", done, valid)
@@ -120,6 +153,12 @@ func finishProgress() {
 }
 
 func reportTuned(tuned *swatop.Tuned, baseline float64, baseName string) {
+	if tuned.Degraded() {
+		fmt.Printf("DEGRADED       : tuning did not complete; serving the manual baseline schedule\n")
+	}
+	if n := tuned.FailedCandidates(); n > 0 {
+		fmt.Printf("failed cands   : %d (panicked or exhausted retries; skipped)\n", n)
+	}
 	fmt.Printf("schedule space : %d valid candidates\n", tuned.SpaceSize())
 	fmt.Printf("selected       : %s\n", tuned.Strategy())
 	fmt.Printf("simulated time : %.4g ms  (%.0f GFLOPS per core group)\n",

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"swatop/internal/autotune"
 	"swatop/internal/experiments"
 )
 
@@ -26,6 +27,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", runtime.NumCPU(),
 		"concurrent tuning workers (results are worker-count independent)")
+	retries := flag.Int("retries", 1,
+		"total attempts per candidate measurement for transient errors (reported numbers are retry-independent)")
 	flag.Parse()
 
 	runner, err := experiments.NewRunner()
@@ -35,6 +38,9 @@ func main() {
 	}
 	runner.Quick = !*full
 	runner.Workers = *workers
+	if *retries > 1 {
+		runner.Retry = autotune.Retry{Attempts: *retries}
+	}
 	progress := false
 	runner.Progress = func(done, total int) {
 		progress = true

@@ -22,6 +22,7 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"swatop/internal/costmodel"
 	"swatop/internal/dsl"
 	"swatop/internal/exec"
+	"swatop/internal/faults"
 	"swatop/internal/ir"
 	"swatop/internal/schedule"
 )
@@ -66,12 +68,20 @@ type Result struct {
 	// compiled successfully (the paper's "space size" column).
 	SpaceSize int
 	Valid     int
+	// FailedCandidates counts candidates whose evaluation was contained
+	// rather than completed: a panic during compile/estimate/run, or a
+	// transient measurement error that survived every retry. Failed
+	// candidates are skipped, not selected, and are excluded from Valid.
+	FailedCandidates int
 	// WallSeconds is host time spent tuning. It shrinks with
 	// Options.Workers.
 	WallSeconds float64
 	// MachineSeconds is simulated SW26010 time consumed: per-candidate
 	// compile+launch+run for the black-box tuner, one launch for swATOP.
-	// It is independent of host parallelism.
+	// It is independent of host parallelism, and it counts only completed
+	// measurements — a transient failure discards its partial run, so the
+	// ledger (and the selected schedule) is identical whether or not
+	// retries happened along the way.
 	MachineSeconds float64
 }
 
@@ -95,6 +105,19 @@ type Options struct {
 	// with the number of processed and valid candidates so far. It is
 	// always invoked from a single goroutine.
 	Progress func(done, valid int)
+	// Faults, when non-nil, is threaded into every measurement (exec.Run
+	// and the simulated machine) so fault-injection tests can exercise the
+	// recovery paths below. Nil in production.
+	Faults *faults.Injector
+	// Retry is the backoff policy for transient measurement errors
+	// (errors carrying faults.ErrTransient). The zero value retries
+	// nothing.
+	Retry Retry
+	// MaxCandidateFailures aborts the search once more than this many
+	// candidates have failed (panicked or exhausted their retries) — a
+	// circuit breaker against a systematically broken environment.
+	// 0 means unlimited: failures are recorded and skipped forever.
+	MaxCandidateFailures int
 }
 
 func (o Options) topK() int {
@@ -102,6 +125,122 @@ func (o Options) topK() int {
 		return o.TopK
 	}
 	return TopK
+}
+
+// Retry is a capped exponential backoff policy for transient measurement
+// errors: attempt i (1-based) sleeps BaseDelay·2^(i-1), capped at MaxDelay,
+// with deterministic ±25 % jitter derived from the candidate index — so
+// retry timing never introduces run-to-run nondeterminism.
+type Retry struct {
+	// Attempts is the total number of tries per measurement; values <= 1
+	// mean a single try (no retry).
+	Attempts int
+	// BaseDelay is the first retry's sleep (default 1ms when retrying).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 250ms).
+	MaxDelay time.Duration
+}
+
+func (r Retry) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
+}
+
+// delay computes the backoff before retry number `attempt` (1-based count
+// of failures so far) of candidate idx.
+func (r Retry) delay(attempt, idx int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := r.MaxDelay
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base << uint(attempt-1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	// Full determinism: jitter is a hash of (idx, attempt), not a random
+	// draw. Spread over [0.75d, 1.25d].
+	h := uint64(idx)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	frac := float64(h%1024) / 1024 // [0,1)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// CandidateError is one candidate's contained evaluation failure: a panic
+// during compile/estimate/run, or a transient measurement error that
+// survived every retry. The tuner records it, skips the candidate and
+// keeps searching; it never aborts the pool.
+type CandidateError struct {
+	// Index is the candidate's stable enumeration index.
+	Index int
+	// Strategy is the schedule that failed.
+	Strategy dsl.Strategy
+	// Panicked distinguishes a recovered panic from an exhausted retry.
+	Panicked bool
+	// Err is the underlying error (for a panic, the recovered value).
+	Err error
+}
+
+func (e *CandidateError) Error() string {
+	kind := "failed"
+	if e.Panicked {
+		kind = "panicked"
+	}
+	return fmt.Sprintf("candidate %d (%s) %s: %v", e.Index, e.Strategy, kind, e.Err)
+}
+
+func (e *CandidateError) Unwrap() error { return e.Err }
+
+// evalOnce compiles and evaluates one schedule point with panic isolation:
+// any panic reachable from lowering, simulation or estimation (ir division
+// by zero, tensor index violations, machine invariants, ...) is converted
+// into an error instead of unwinding through the worker pool.
+func evalOnce(op Operator, st dsl.Strategy, eval func(*Candidate) error) (c *Candidate, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, panicked = nil, true
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	prog, cerr := op.Compile(st)
+	if cerr != nil {
+		return nil, nil, false // invalid point (capacity, layout rules, ...)
+	}
+	cand := &Candidate{Strategy: st, Program: prog}
+	if everr := eval(cand); everr != nil {
+		return nil, everr, false
+	}
+	return cand, nil, false
+}
+
+// evalCandidate is evalOnce plus the failure policy: panics become
+// per-candidate errors immediately; transient errors are retried under the
+// backoff policy and become per-candidate errors when exhausted; anything
+// else stays fatal (the seed behaviour for e.g. cost-model failures).
+func evalCandidate(op Operator, idx int, st dsl.Strategy,
+	eval func(*Candidate) error, opts Options) (*Candidate, error) {
+	for attempt := 1; ; attempt++ {
+		c, err, panicked := evalOnce(op, st, eval)
+		switch {
+		case err == nil:
+			return c, nil // c may be nil: invalid point
+		case panicked:
+			return nil, &CandidateError{Index: idx, Strategy: st, Panicked: true, Err: err}
+		case faults.IsTransient(err):
+			if attempt < opts.Retry.attempts() {
+				time.Sleep(opts.Retry.delay(attempt, idx))
+				continue
+			}
+			return nil, &CandidateError{Index: idx, Strategy: st, Err: err}
+		default:
+			return nil, err
+		}
+	}
 }
 
 // ModelBased runs swATOP's performance-model autotuner sequentially:
@@ -139,28 +278,54 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 		c.Predicted = est.Total()
 		return nil
 	}
-	spaceSize, err := runPool(ctx, op, opts.Workers, eval, sink)
+	spaceSize, failed, err := runPool(ctx, op, opts, eval, sink)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{SpaceSize: spaceSize, Valid: valid}
+	res := Result{SpaceSize: spaceSize, Valid: valid, FailedCandidates: failed}
 	if len(top) == 0 {
-		return Result{}, fmt.Errorf("autotune %s: no valid schedule in space of %d", op.Name(), spaceSize)
+		return Result{}, fmt.Errorf("autotune %s: no valid schedule in space of %d (%d candidates failed)",
+			op.Name(), spaceSize, failed)
 	}
 	// The k finalists are emitted into one binary and measured in a single
-	// batch job: one compile+launch, k short runs.
+	// batch job: one compile+launch, k short runs. Each run goes through
+	// the same panic-isolation + retry policy as the search: a finalist
+	// that cannot be measured is skipped, and only measuring *no* finalist
+	// is an error.
 	res.MachineSeconds = CompileLaunchOverheadSeconds
+	runEval := func(c *Candidate) error {
+		secs, err := runTimed(c.Program, opts.Faults)
+		if err != nil {
+			return err
+		}
+		c.Measured = secs
+		return nil
+	}
 	var best *Candidate
 	for _, r := range top {
-		secs, err := runTimed(r.c.Program)
+		c, err := evalCandidate(op, r.idx, r.c.Strategy, runEval, opts)
 		if err != nil {
+			var ce *CandidateError
+			if errors.As(err, &ce) {
+				res.FailedCandidates++
+				continue
+			}
 			return Result{}, fmt.Errorf("autotune %s: candidate failed to run: %w", op.Name(), err)
 		}
-		r.c.Measured = secs
-		res.MachineSeconds += secs
-		if best == nil || r.c.Measured < best.Measured {
-			best = r.c
+		if c == nil {
+			// Compiled during the search but not for the final run — a
+			// nondeterministic operator; contain it like any failure.
+			res.FailedCandidates++
+			continue
 		}
+		c.Predicted = r.c.Predicted
+		res.MachineSeconds += c.Measured
+		if best == nil || c.Measured < best.Measured {
+			best = c
+		}
+	}
+	if best == nil {
+		return Result{}, fmt.Errorf("autotune %s: all %d finalists failed to run", op.Name(), len(top))
 	}
 	res.Best = *best
 	res.WallSeconds = time.Since(t0).Seconds()
@@ -199,21 +364,22 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 		}
 	}
 	eval := func(c *Candidate) error {
-		secs, err := runTimed(c.Program)
+		secs, err := runTimed(c.Program, opts.Faults)
 		if err != nil {
+			// %w keeps the transient mark visible to the retry policy.
 			return fmt.Errorf("%s: %w", c.Strategy, err)
 		}
 		c.Measured = secs
 		return nil
 	}
-	spaceSize, err := runPool(ctx, op, opts.Workers, eval, sink)
+	spaceSize, failed, err := runPool(ctx, op, opts, eval, sink)
 	if err != nil {
 		return Result{}, fmt.Errorf("blackbox %s: %w", op.Name(), err)
 	}
 	if best.c == nil {
-		return Result{}, fmt.Errorf("blackbox %s: no valid schedule", op.Name())
+		return Result{}, fmt.Errorf("blackbox %s: no valid schedule (%d candidates failed)", op.Name(), failed)
 	}
-	res := Result{SpaceSize: spaceSize, Valid: len(runs)}
+	res := Result{SpaceSize: spaceSize, Valid: len(runs), FailedCandidates: failed}
 	// Sum the ledger in enumeration order: float addition is not
 	// associative, and MachineSeconds must not depend on worker timing.
 	sort.Slice(runs, func(i, j int) bool { return runs[i].idx < runs[j].idx })
@@ -261,15 +427,18 @@ type poolResult struct {
 	err  error
 }
 
-// runPool streams the operator's schedule space through workers goroutines.
-// Each point is compiled; valid candidates are passed to eval on the
-// worker, and every processed point is delivered to sink on the collector
-// goroutine (so sink needs no locking). Returns the number of enumerated
-// points and the first (lowest-index) evaluation error, if any.
-func runPool(ctx context.Context, op Operator, workers int,
-	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, error) {
-	if workers < 2 {
-		return runSequential(ctx, op, eval, sink)
+// runPool streams the operator's schedule space through Options.Workers
+// goroutines. Each point is compiled; valid candidates are passed to eval
+// on the worker, and every processed point is delivered to sink on the
+// collector goroutine (so sink needs no locking). Per-candidate failures
+// (recovered panics, exhausted transient retries — see evalCandidate) are
+// recorded and skipped; any other evaluation error is fatal. Returns the
+// number of enumerated points, the number of failed candidates, and the
+// first (lowest-index) fatal error, if any.
+func runPool(ctx context.Context, op Operator, opts Options,
+	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, int, error) {
+	if opts.Workers < 2 {
+		return runSequential(ctx, op, opts, eval, sink)
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -278,8 +447,8 @@ func runPool(ctx context.Context, op Operator, workers int,
 		idx int
 		st  dsl.Strategy
 	}
-	jobs := make(chan job, workers)
-	results := make(chan poolResult, workers)
+	jobs := make(chan job, opts.Workers)
+	results := make(chan poolResult, opts.Workers)
 
 	total := 0
 	var streamErr error
@@ -299,7 +468,7 @@ func runPool(ctx context.Context, op Operator, workers int,
 	}()
 
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -307,17 +476,9 @@ func runPool(ctx context.Context, op Operator, workers int,
 				if ctx.Err() != nil {
 					continue // drain after cancellation
 				}
-				r := poolResult{idx: j.idx}
-				if prog, err := op.Compile(j.st); err == nil {
-					c := &Candidate{Strategy: j.st, Program: prog}
-					if everr := eval(c); everr != nil {
-						r.err = everr
-					} else {
-						r.cand = c
-					}
-				}
+				c, err := evalCandidate(op, j.idx, j.st, eval, opts)
 				select {
-				case results <- r:
+				case results <- poolResult{idx: j.idx, cand: c, err: err}:
 				case <-ctx.Done():
 					return
 				}
@@ -331,14 +492,32 @@ func runPool(ctx context.Context, op Operator, workers int,
 
 	var firstErr error
 	firstErrIdx := -1
+	failed := 0
+	fatal := func(idx int, err error) {
+		// Keep the lowest-index error so failures are reported
+		// deterministically, then stop feeding the pool.
+		if firstErr == nil || idx < firstErrIdx {
+			firstErr, firstErrIdx = err, idx
+		}
+		cancel()
+	}
 	for r := range results {
 		if r.err != nil {
-			// Keep the lowest-index error so failures are reported
-			// deterministically, then stop feeding the pool.
-			if firstErr == nil || r.idx < firstErrIdx {
-				firstErr, firstErrIdx = r.err, r.idx
+			var ce *CandidateError
+			if errors.As(r.err, &ce) {
+				failed++
+				if exceeded := opts.MaxCandidateFailures > 0 &&
+					failed > opts.MaxCandidateFailures; exceeded {
+					fatal(r.idx, fmt.Errorf("%d candidate failures exceed limit %d, last: %w",
+						failed, opts.MaxCandidateFailures, r.err))
+					continue
+				}
+				if firstErr == nil {
+					sink(r.idx, nil)
+				}
+				continue
 			}
-			cancel()
+			fatal(r.idx, r.err)
 			continue
 		}
 		if firstErr == nil {
@@ -347,59 +526,66 @@ func runPool(ctx context.Context, op Operator, workers int,
 	}
 	<-prodDone
 	if firstErr != nil {
-		return 0, firstErr
+		return 0, failed, firstErr
 	}
 	if streamErr != nil {
-		return 0, streamErr
+		return 0, failed, streamErr
 	}
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, failed, err
 	}
-	return total, nil
+	return total, failed, nil
 }
 
 // runSequential is the single-goroutine pool: one pass over the stream,
 // evaluating in place. The reference behaviour every worker count must
-// reproduce.
-func runSequential(ctx context.Context, op Operator,
-	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, error) {
-	total := 0
-	var evalErr error
+// reproduce, including the failure policy.
+func runSequential(ctx context.Context, op Operator, opts Options,
+	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, int, error) {
+	total, failed := 0, 0
+	var fatalErr error
 	err := schedule.Stream(op.Seed(), op.Space(), func(idx int, st dsl.Strategy) bool {
 		if ctx.Err() != nil {
 			return false
 		}
 		total = idx + 1
-		prog, err := op.Compile(st)
+		c, err := evalCandidate(op, idx, st, eval, opts)
 		if err != nil {
-			sink(idx, nil) // invalid point (capacity, layout rules, ...)
-			return true
-		}
-		c := &Candidate{Strategy: st, Program: prog}
-		if evalErr = eval(c); evalErr != nil {
+			var ce *CandidateError
+			if errors.As(err, &ce) {
+				failed++
+				if opts.MaxCandidateFailures > 0 && failed > opts.MaxCandidateFailures {
+					fatalErr = fmt.Errorf("%d candidate failures exceed limit %d, last: %w",
+						failed, opts.MaxCandidateFailures, err)
+					return false
+				}
+				sink(idx, nil)
+				return true
+			}
+			fatalErr = err
 			return false
 		}
-		sink(idx, c)
+		sink(idx, c) // c is nil for an invalid point (capacity, layout rules, ...)
 		return true
 	})
 	if err != nil {
-		return 0, err
+		return 0, failed, err
 	}
-	if evalErr != nil {
-		return 0, evalErr
+	if fatalErr != nil {
+		return 0, failed, fatalErr
 	}
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, failed, err
 	}
-	return total, nil
+	return total, failed, nil
 }
 
-func runTimed(prog *ir.Program) (float64, error) {
+func runTimed(prog *ir.Program, inj *faults.Injector) (float64, error) {
 	binds, err := exec.BindVirtual(prog)
 	if err != nil {
 		return 0, err
 	}
-	r, err := exec.Run(prog, binds, exec.Options{Functional: false, FastLoops: true})
+	r, err := exec.Run(prog, binds, exec.Options{Functional: false, FastLoops: true, Faults: inj})
 	if err != nil {
 		return 0, err
 	}

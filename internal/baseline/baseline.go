@@ -324,6 +324,34 @@ func ManualExplicit(s conv.Shape) (*ir.Program, error) {
 	return prog, nil
 }
 
+// FallbackGemm returns the manual-library GEMM — the degraded-mode answer
+// a resilient tuner serves when autotuning cannot complete (all candidates
+// failing, deadline budget exhausted). It is always compilable: xMath's
+// traditional padding accepts any problem size.
+func FallbackGemm(p gemm.Params) (*ir.Program, error) {
+	return XMathGemm(p)
+}
+
+// FallbackConv returns the manual-library convolution for a method — the
+// degraded-mode answer when autotuning cannot complete. Where the
+// method-matched manual code has a hard restriction (swDNN's batch
+// multiple), it degrades one step further to the manual explicit-GEMM
+// path, which accepts any shape, rather than failing.
+func FallbackConv(method string, s conv.Shape) (*ir.Program, error) {
+	switch method {
+	case "implicit":
+		if s.B%SwDNNBatchMultiple == 0 {
+			return SwDNNImplicit(s)
+		}
+		return ManualExplicit(s)
+	case "explicit":
+		return ManualExplicit(s)
+	case "winograd":
+		return ManualWinograd(s)
+	}
+	return nil, fmt.Errorf("baseline: unknown conv method %q", method)
+}
+
 // MarkSpecialized flags every GEMM call in a program as eligible for the
 // hand-tuned assembly micro-kernel (it only actually applies on exactly
 // aligned shapes — see primitives.SpecializedApplies).

@@ -7,15 +7,32 @@
 package cache
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
 	"swatop/internal/dsl"
+	"swatop/internal/faults"
 	"swatop/internal/ir"
 )
+
+// SchemaVersion is the on-disk library format version. Files written by
+// Save carry it; Load quarantines entries of any other version rather than
+// guessing at their meaning. Pre-versioned files (a bare JSON entry array)
+// are still read as version 1.
+const SchemaVersion = 1
+
+// libraryFile is the persisted representation.
+type libraryFile struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
 
 // Entry is one cached tuning result.
 type Entry struct {
@@ -69,10 +86,45 @@ func FromStrategy(signature string, st dsl.Strategy, seconds float64, spaceSize 
 	}
 }
 
+// Validate reports why an entry is unusable. Load refuses to admit
+// entries that fail it: a corrupt or hand-edited library must never poison
+// the live cache with schedules that cannot compile or with nonsense
+// performance numbers that would win every Put collision.
+func (e Entry) Validate() error {
+	if e.Signature == "" {
+		return errors.New("missing signature")
+	}
+	if len(e.Factors) == 0 {
+		return errors.New("nil or empty factors")
+	}
+	for name, f := range e.Factors {
+		if f <= 0 {
+			return fmt.Errorf("factor %q is %d, want > 0", name, f)
+		}
+	}
+	if !(e.SimulatedSeconds > 0) || math.IsInf(e.SimulatedSeconds, 0) {
+		// The negated comparison also rejects NaN.
+		return fmt.Errorf("simulated_seconds %v, want finite > 0", e.SimulatedSeconds)
+	}
+	if e.SpaceSize < 0 {
+		return fmt.Errorf("space_size %d, want >= 0", e.SpaceSize)
+	}
+	return nil
+}
+
 // Library is a concurrency-safe schedule cache.
 type Library struct {
 	mu      sync.RWMutex
 	entries map[string]Entry
+	faults  *faults.Injector
+}
+
+// SetFaults attaches a fault injector consulted at the persistence
+// injection points (nil detaches). Nil in every production run.
+func (l *Library) SetFaults(in *faults.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = in
 }
 
 // NewLibrary creates an empty library.
@@ -127,37 +179,143 @@ func (l *Library) Signatures() []string {
 	return out
 }
 
-// Save writes the library as JSON.
+// Save writes the library as versioned JSON, atomically: the data goes to
+// a temp file in the destination directory, is fsynced, and is renamed
+// over path — so a crash at any instant leaves either the old library or
+// the new one, never a torn file. The parent directory is created if
+// missing. Files are written 0o644 (world-readable: a schedule library
+// holds tuning results, not secrets, and is commonly shared between the
+// offline tuner and online framework processes of different users).
 func (l *Library) Save(path string) error {
 	l.mu.RLock()
 	list := make([]Entry, 0, len(l.entries))
 	for _, e := range l.entries {
 		list = append(list, e)
 	}
+	inj := l.faults
 	l.mu.RUnlock()
 	sort.Slice(list, func(i, j int) bool { return list[i].Signature < list[j].Signature })
-	data, err := json.MarshalIndent(list, "", "  ")
+	data, err := json.MarshalIndent(libraryFile{Version: SchemaVersion, Entries: list}, "", "  ")
 	if err != nil {
-		return err
+		return fmt.Errorf("cache: save %s: %w", path, err)
 	}
-	return os.WriteFile(path, data, 0o644)
-}
-
-// Load reads a library from JSON, merging into the receiver.
-func (l *Library) Load(path string) error {
-	data, err := os.ReadFile(path)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: save %s: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("cache: save %s: %w", path, err)
 	}
-	var list []Entry
-	if err := json.Unmarshal(data, &list); err != nil {
-		return fmt.Errorf("cache: %s: %w", path, err)
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: save %s: %w", path, err)
 	}
-	for _, e := range list {
-		if e.Signature == "" {
-			return fmt.Errorf("cache: %s: entry without signature", path)
-		}
-		l.Put(e)
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	// The crash window atomicity protects: the temp file is complete and
+	// durable, the rename has not happened. A fault here simulates the
+	// process dying mid-save; the existing library must stay untouched.
+	if err := inj.Fire(faults.CacheCommit); err != nil {
+		return cleanup(fmt.Errorf("injected crash before commit: %w", err))
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: save %s: %w", path, err)
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// some filesystems refuse it, and the data file is already safe.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
+}
+
+// Quarantined is one entry Load refused to admit, with the reason.
+type Quarantined struct {
+	// Index is the entry's position in the file.
+	Index int
+	// Signature is the entry's signature ("" when missing).
+	Signature string
+	// Reason says why the entry was rejected.
+	Reason string
+}
+
+// LoadReport summarizes one Load: how many entries were merged and which
+// were quarantined. Quarantining never fails the load — a partially
+// corrupt library yields its good entries and a report, not an error that
+// forces the caller to discard everything.
+type LoadReport struct {
+	// Path is the file that was read.
+	Path string
+	// Loaded is the number of entries merged into the library.
+	Loaded int
+	// Quarantined lists rejected entries, in file order.
+	Quarantined []Quarantined
+}
+
+// Load reads a library from JSON, merging valid entries into the receiver
+// and silently quarantining invalid ones; use LoadWithReport to see what
+// was rejected. A zero-length file is an empty library (the state a crash
+// between create and first save leaves behind), not an error. All errors
+// carry the file path.
+func (l *Library) Load(path string) error {
+	_, err := l.LoadWithReport(path)
+	return err
+}
+
+// LoadWithReport is Load returning the per-entry admission report.
+func (l *Library) LoadWithReport(path string) (LoadReport, error) {
+	rep := LoadReport{Path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("cache: load %s: %w", path, err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return rep, nil
+	}
+	var f libraryFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		// Pre-versioned libraries were a bare entry array; read them as
+		// version 1 before giving up.
+		var list []Entry
+		if legacyErr := json.Unmarshal(data, &list); legacyErr != nil {
+			return rep, fmt.Errorf("cache: load %s: %w", path, err)
+		}
+		f = libraryFile{Version: SchemaVersion, Entries: list}
+	}
+	if f.Version != SchemaVersion {
+		// A future (or garbage) schema: the entries may mean anything, so
+		// quarantine them all instead of merging misinterpretations.
+		for i, e := range f.Entries {
+			rep.Quarantined = append(rep.Quarantined, Quarantined{
+				Index: i, Signature: e.Signature,
+				Reason: fmt.Sprintf("unknown schema version %d (want %d)", f.Version, SchemaVersion),
+			})
+		}
+		return rep, nil
+	}
+	for i, e := range f.Entries {
+		if err := e.Validate(); err != nil {
+			rep.Quarantined = append(rep.Quarantined, Quarantined{
+				Index: i, Signature: e.Signature, Reason: err.Error(),
+			})
+			continue
+		}
+		l.Put(e)
+		rep.Loaded++
+	}
+	return rep, nil
 }

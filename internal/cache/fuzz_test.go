@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLibraryLoad feeds arbitrary bytes through the full load path. The
+// invariants: loading never panics, never admits an entry that fails
+// Validate, and the report's accounting matches the library's contents.
+// Wired into `make ci` as a short smoke run.
+func FuzzLibraryLoad(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`   `))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"version":1,"entries":null}`))
+	f.Add([]byte(`{"version":1,"entries":[{"signature":"a","factors":{"m":64},"simulated_seconds":0.5,"space_size":3}]}`))
+	f.Add([]byte(`{"version":99,"entries":[{"signature":"a","factors":{"m":64},"simulated_seconds":0.5}]}`))
+	f.Add([]byte(`[{"signature":"legacy","factors":{"m":64},"simulated_seconds":0.5}]`))
+	f.Add([]byte(`{"version":1,"entries":[{"signature":"a","factors":{"m":-1},"simulated_seconds":1e999}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"signature":"","factors":{},"simulated_seconds":0}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"signature":"d","factors":{"m":1},"simulated_seconds":2},{"signature":"d","factors":{"m":1},"simulated_seconds":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		l := NewLibrary()
+		rep, err := l.LoadWithReport(path)
+		if err != nil {
+			if l.Len() != 0 {
+				t.Fatalf("failed load still admitted %d entries", l.Len())
+			}
+			return
+		}
+		// Loaded counts admissions; duplicate signatures collapse via Put,
+		// so the library can only hold fewer, never more.
+		if l.Len() > rep.Loaded {
+			t.Fatalf("report says %d loaded, library holds %d", rep.Loaded, l.Len())
+		}
+		for _, sig := range l.Signatures() {
+			e, ok := l.Get(sig)
+			if !ok {
+				t.Fatalf("signature %q listed but missing", sig)
+			}
+			if verr := e.Validate(); verr != nil {
+				t.Fatalf("invalid entry admitted: %+v (%v)", e, verr)
+			}
+		}
+	})
+}

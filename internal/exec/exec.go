@@ -14,6 +14,7 @@ package exec
 import (
 	"fmt"
 
+	"swatop/internal/faults"
 	"swatop/internal/ir"
 	"swatop/internal/primitives"
 	"swatop/internal/sw26010"
@@ -35,6 +36,11 @@ type Options struct {
 	// Trace, when non-nil, records the execution timeline (GEMM calls,
 	// transforms, DMA engine intervals) for schedule diagnosis.
 	Trace *trace.Log
+	// Faults, when non-nil, is consulted at the measurement and machine
+	// injection points (faults.Measure before the run starts,
+	// faults.DMATransfer / faults.ComputeStall inside the machine). Nil in
+	// every production run.
+	Faults *faults.Injector
 }
 
 // fastLoopThreshold is the minimum extent for fast-forwarding: iterations
@@ -69,8 +75,13 @@ type state struct {
 // tensors; scratch tensors are allocated internally; Output tensors are
 // zeroed first (operators accumulate from zero).
 func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, error) {
+	// The measurement-level injection point: a fired fault rejects the run
+	// before the machine starts, like a batch job lost to a flaky node.
+	if err := opt.Faults.Fire(faults.Measure); err != nil {
+		return Result{}, fmt.Errorf("exec %s: measurement failed: %w", p.Name, err)
+	}
 	st := &state{
-		m:       sw26010.NewMachine(),
+		m:       newMachine(opt),
 		opt:     opt,
 		env:     ir.Env{},
 		tensors: map[string]*tensor.Tensor{},
@@ -139,6 +150,12 @@ func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, e
 		return Result{}, fmt.Errorf("exec %s: %d DMA transfers never waited for", p.Name, n)
 	}
 	return Result{Seconds: st.m.Elapsed(), Counters: st.m.Counters}, nil
+}
+
+func newMachine(opt Options) *sw26010.Machine {
+	m := sw26010.NewMachine()
+	m.SetFaults(opt.Faults)
+	return m
 }
 
 func identityPerm(n int) []int {

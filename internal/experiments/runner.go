@@ -40,6 +40,12 @@ type Runner struct {
 	// tuning jobs out of the sweep's total). It is never called
 	// concurrently.
 	Progress func(done, total int)
+	// Retry is the backoff policy for transient measurement errors during
+	// tuning; the zero value retries nothing. Long unattended sweeps set
+	// it so a flaky measurement costs one candidate, not the whole run.
+	// Retries never change any reported number (the tuner's ledger counts
+	// only completed measurements).
+	Retry autotune.Retry
 
 	mu         sync.Mutex // guards the lazily built sweep caches
 	progressMu sync.Mutex // serializes Progress callbacks
@@ -84,7 +90,7 @@ func (r *Runner) tuneConv(ctx context.Context, method string, s conv.Shape, work
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry})
 	if err != nil {
 		return autotune.Result{}, err
 	}
@@ -120,7 +126,7 @@ func (r *Runner) tuneGemm(ctx context.Context, p gemm.Params, workers int) (auto
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry})
 	if err != nil {
 		return autotune.Result{}, err
 	}

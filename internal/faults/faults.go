@@ -1,0 +1,228 @@
+// Package faults is a deterministic, seedable fault injector for the
+// tuning stack. Production code calls Fire/Stall at named injection points;
+// with no injector armed (the nil receiver) those calls are no-ops, so the
+// injector ships in the normal build with zero behavioural footprint and no
+// build tags. Tests arm rules — fail every nth call, fail with a
+// probability, panic, or stall the simulated clock — to exercise every
+// recovery path (retry, panic isolation, crash-safe persistence) without
+// real hardware faults.
+//
+// Determinism: probability rules draw from a splitmix64 stream seeded at
+// construction, and nth-call rules count calls under a mutex, so a given
+// seed and call sequence always fires the same faults. Under a concurrent
+// worker pool the global call order (and therefore which worker observes a
+// given fault) is scheduling-dependent, but the recovery layers above are
+// required to converge to the same result regardless — that is exactly what
+// the injector exists to prove.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Injection point names. Each names the call site that consults the
+// injector, not the consumer that recovers.
+const (
+	// DMATransfer fires in sw26010.Machine.IssueDMA: the transfer is
+	// rejected with the armed error (a dropped/failed DMA descriptor).
+	DMATransfer = "sw26010.dma-transfer"
+	// ComputeStall fires in sw26010.Machine.AdvanceCompute: the compute
+	// clock silently loses the armed number of seconds (an OS jitter /
+	// contention stall perturbing a measurement).
+	ComputeStall = "sw26010.compute-stall"
+	// Measure fires at the top of exec.Run: the whole measurement is
+	// rejected with the armed error before the simulated machine starts.
+	Measure = "exec.measure"
+	// CacheCommit fires in cache.Library.Save between writing the temp
+	// file and renaming it over the library — the crash window atomic
+	// persistence must protect.
+	CacheCommit = "cache.commit"
+)
+
+// ErrTransient marks injected (or real) errors that a retry may cure.
+// Recovery layers test with errors.Is(err, ErrTransient); wrapping with
+// Transient preserves the mark through fmt.Errorf("...: %w", err) chains.
+var ErrTransient = errors.New("transient fault")
+
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+func (e transientError) Is(target error) bool {
+	return target == ErrTransient
+}
+
+// Transient marks an error as retryable: errors.Is(Transient(err),
+// ErrTransient) holds, and Unwrap still reaches err.
+func Transient(err error) error { return transientError{err: err} }
+
+// IsTransient reports whether any error in err's chain carries the
+// transient mark.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// rule is the armed behaviour of one injection point. Exactly one trigger
+// (nth or prob) and one effect (err, panicMsg or stallSeconds) is set.
+type rule struct {
+	nth          uint64  // fire when callCount % nth == 0 (1-based)
+	prob         float64 // fire when the next random draw < prob
+	err          error
+	panicMsg     string
+	stallSeconds float64
+}
+
+// Injector holds armed rules and per-point call/fire counters. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use and are no-ops on a nil receiver.
+type Injector struct {
+	mu    sync.Mutex
+	rng   uint64
+	rules map[string]*rule
+	calls map[string]uint64
+	fired map[string]uint64
+}
+
+// New creates an injector with no armed rules. seed fixes the random
+// stream of probability-triggered rules.
+func New(seed uint64) *Injector {
+	return &Injector{
+		rng:   seed,
+		rules: map[string]*rule{},
+		calls: map[string]uint64{},
+		fired: map[string]uint64{},
+	}
+}
+
+// next is splitmix64: a tiny, deterministic, well-distributed generator —
+// math/rand's global state would leak nondeterminism between tests.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FailEveryNth arms point to return err on every nth call (n >= 1; n == 1
+// fails every call).
+func (in *Injector) FailEveryNth(point string, n uint64, err error) {
+	in.arm(point, &rule{nth: n, err: err})
+}
+
+// FailWithProbability arms point to return err on each call independently
+// with probability p.
+func (in *Injector) FailWithProbability(point string, p float64, err error) {
+	in.arm(point, &rule{prob: p, err: err})
+}
+
+// PanicEveryNth arms point to panic with msg on every nth call — the
+// hammer for testing panic isolation in code that cannot return an error.
+func (in *Injector) PanicEveryNth(point string, n uint64, msg string) {
+	in.arm(point, &rule{nth: n, panicMsg: msg})
+}
+
+// StallEveryNth arms point to stall for the given simulated seconds on
+// every nth call; consumed by Stall, ignored by Fire.
+func (in *Injector) StallEveryNth(point string, n uint64, seconds float64) {
+	in.arm(point, &rule{nth: n, stallSeconds: seconds})
+}
+
+// Disarm removes the rule at point; calls keep being counted.
+func (in *Injector) Disarm(point string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, point)
+}
+
+func (in *Injector) arm(point string, r *rule) {
+	if in == nil {
+		return
+	}
+	if r.nth == 0 && r.prob == 0 {
+		panic(fmt.Sprintf("faults: rule for %q has no trigger", point))
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[point] = r
+	in.calls[point] = 0
+	in.fired[point] = 0
+}
+
+// trigger counts one call at point and reports the armed rule when it
+// fires.
+func (in *Injector) trigger(point string) *rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[point]++
+	r, ok := in.rules[point]
+	if !ok {
+		return nil
+	}
+	hit := false
+	switch {
+	case r.nth > 0:
+		hit = in.calls[point]%r.nth == 0
+	case r.prob > 0:
+		hit = float64(in.next()%(1<<53))/(1<<53) < r.prob
+	}
+	if !hit {
+		return nil
+	}
+	in.fired[point]++
+	return r
+}
+
+// Fire consults the injector at an error-returning injection point: it
+// returns the armed error (or panics, for a panic rule) when the rule
+// fires, nil otherwise. Safe on a nil receiver.
+func (in *Injector) Fire(point string) error {
+	if in == nil {
+		return nil
+	}
+	r := in.trigger(point)
+	if r == nil {
+		return nil
+	}
+	if r.panicMsg != "" {
+		panic(r.panicMsg)
+	}
+	return r.err
+}
+
+// Stall consults the injector at a time-perturbing injection point and
+// returns the simulated seconds to lose (0 when the rule does not fire or
+// is not a stall rule). Safe on a nil receiver.
+func (in *Injector) Stall(point string) float64 {
+	if in == nil {
+		return 0
+	}
+	r := in.trigger(point)
+	if r == nil {
+		return 0
+	}
+	return r.stallSeconds
+}
+
+// Calls returns how many times point has been consulted.
+func (in *Injector) Calls(point string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[point]
+}
+
+// Fired returns how many times point's rule has fired.
+func (in *Injector) Fired(point string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[point]
+}

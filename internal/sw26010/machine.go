@@ -3,6 +3,8 @@ package sw26010
 import (
 	"fmt"
 	"sort"
+
+	"swatop/internal/faults"
 )
 
 // Machine is the simulated state of one core group during the execution of
@@ -24,6 +26,11 @@ type Machine struct {
 	dmaFree float64
 
 	spm *SPMAllocator
+
+	// faults, when non-nil, is consulted at the DMA-transfer and
+	// compute-advance injection points (faults.DMATransfer,
+	// faults.ComputeStall). Nil in every production run.
+	faults *faults.Injector
 
 	replies map[string]*replyWord
 
@@ -89,12 +96,18 @@ func (m *Machine) Elapsed() float64 {
 	return t
 }
 
-// AdvanceCompute moves the compute clock forward by dt seconds.
+// SetFaults attaches a fault injector (nil detaches). Reset preserves it:
+// a fresh timeline on the same machine keeps the same failure environment.
+func (m *Machine) SetFaults(in *faults.Injector) { m.faults = in }
+
+// AdvanceCompute moves the compute clock forward by dt seconds. An armed
+// compute-stall fault loses extra simulated time here, perturbing the
+// measurement the way OS jitter perturbs a real one.
 func (m *Machine) AdvanceCompute(dt float64) {
 	if dt < 0 {
 		panic("sw26010: negative compute time")
 	}
-	m.clock += dt
+	m.clock += dt + m.faults.Stall(faults.ComputeStall)
 }
 
 // Snapshot captures the timeline and counters (for steady-state loop
@@ -214,6 +227,9 @@ func (r DMARequest) transferTime() (seconds float64, touched int64) {
 func (m *Machine) IssueDMA(reply string, req DMARequest) error {
 	if err := req.Validate(); err != nil {
 		return err
+	}
+	if err := m.faults.Fire(faults.DMATransfer); err != nil {
+		return fmt.Errorf("dma %q: injected transfer failure: %w", reply, err)
 	}
 	t, touched := req.transferTime()
 

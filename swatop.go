@@ -14,7 +14,9 @@ package swatop
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"swatop/internal/autotune"
 	"swatop/internal/baseline"
@@ -23,6 +25,7 @@ import (
 	"swatop/internal/conv"
 	"swatop/internal/costmodel"
 	"swatop/internal/exec"
+	"swatop/internal/faults"
 	"swatop/internal/gemm"
 	"swatop/internal/ir"
 	"swatop/internal/tensor"
@@ -37,6 +40,51 @@ type Library = cache.Library
 // NewLibrary creates an empty schedule cache; use Load/Save for
 // persistence.
 func NewLibrary() *Library { return cache.NewLibrary() }
+
+// FaultInjector is the deterministic fault injector of internal/faults:
+// arm rules on the named injection points and attach it with
+// Tuner.SetFaults (or Library.SetFaults) to exercise the tuner's recovery
+// paths without real hardware faults.
+type FaultInjector = faults.Injector
+
+// NewFaultInjector creates an injector with no armed rules; seed fixes the
+// random stream of probability-triggered rules.
+func NewFaultInjector(seed uint64) *FaultInjector { return faults.New(seed) }
+
+// Fault-injection point names, re-exported so facade users can arm rules
+// without importing internal packages.
+const (
+	// FaultDMATransfer fails simulated DMA transfers (sw26010.Machine).
+	FaultDMATransfer = faults.DMATransfer
+	// FaultComputeStall stretches simulated compute phases.
+	FaultComputeStall = faults.ComputeStall
+	// FaultMeasure fails candidate measurements (exec.Run).
+	FaultMeasure = faults.Measure
+	// FaultCacheCommit crashes a Library.Save between temp-write and
+	// rename.
+	FaultCacheCommit = faults.CacheCommit
+)
+
+// TransientError marks err as retryable: the tuner's retry policy (see
+// SetRetry) retries transient measurement failures instead of failing the
+// candidate outright. Unmarked errors stay fatal.
+func TransientError(err error) error { return faults.Transient(err) }
+
+// FallbackPolicy selects what a Tuner does when tuning cannot complete —
+// every candidate failing, or the context's deadline budget expiring.
+type FallbackPolicy int
+
+const (
+	// FallbackNone returns tuning failures as errors (the default).
+	FallbackNone FallbackPolicy = iota
+	// FallbackBaseline degrades gracefully: the tuner returns the manual
+	// baseline schedule (xMath / swDNN / manual conv from
+	// internal/baseline) flagged Degraded instead of an error. An online
+	// framework keeps serving at manual-library speed while the
+	// environment misbehaves. Explicit context cancellation still returns
+	// the error: the caller asked the work to stop, not to degrade.
+	FallbackBaseline
+)
 
 // ConvShape is the convolution geometry (stride 1, pre-padded input):
 // batch B, channels Ni→No, output Ro×Co, kernel Kr×Kc.
@@ -58,10 +106,14 @@ const (
 // Tuner is swATOP's performance-model-based autotuner with its fitted
 // Eq. (2) cost model (calibrated once against the simulated machine).
 type Tuner struct {
-	model    *costmodel.GemmModel
-	lib      *Library
-	workers  int
-	progress func(done, valid int)
+	model       *costmodel.GemmModel
+	lib         *Library
+	workers     int
+	progress    func(done, valid int)
+	fallback    FallbackPolicy
+	faults      *faults.Injector
+	retry       autotune.Retry
+	maxFailures int
 }
 
 // UseLibrary attaches a schedule cache: tuning consults it first and
@@ -80,6 +132,29 @@ func (t *Tuner) SetWorkers(n int) { t.workers = n }
 // goroutine after each candidate with the processed and valid counts.
 func (t *Tuner) SetProgress(fn func(done, valid int)) { t.progress = fn }
 
+// SetFallback selects the degradation policy for failed or deadline-
+// expired tuning runs.
+func (t *Tuner) SetFallback(p FallbackPolicy) { t.fallback = p }
+
+// SetFaults attaches a fault injector to every measurement this tuner
+// performs (nil detaches). Production tuners never need this; it exists so
+// integrations can rehearse their failure handling deterministically.
+func (t *Tuner) SetFaults(in *FaultInjector) { t.faults = in }
+
+// SetRetry configures capped exponential backoff with jitter for
+// transient measurement errors: attempts is the total number of tries per
+// candidate measurement (values <= 1 disable retrying), base the first
+// delay, max the cap. Retries never change the selected schedule or the
+// simulated-time ledger — only host wall time.
+func (t *Tuner) SetRetry(attempts int, base, max time.Duration) {
+	t.retry = autotune.Retry{Attempts: attempts, BaseDelay: base, MaxDelay: max}
+}
+
+// SetMaxCandidateFailures aborts a tuning run once more than n candidates
+// have failed (panicked or exhausted retries) — a circuit breaker against
+// a systematically broken environment. 0 (the default) means unlimited.
+func (t *Tuner) SetMaxCandidateFailures(n int) { t.maxFailures = n }
+
 // NewTuner fits the cost model (the per-machine offline calibration).
 func NewTuner() (*Tuner, error) {
 	m, err := costmodel.FitGemmModel()
@@ -97,6 +172,8 @@ type Tuned struct {
 	seconds   float64
 	spaceSize int
 	flops     int64
+	degraded  bool
+	failed    int
 }
 
 // TuneGemm searches the GEMM schedule space for a problem size.
@@ -105,13 +182,17 @@ func (t *Tuner) TuneGemm(p GemmParams) (*Tuned, error) {
 }
 
 // TuneGemmCtx is TuneGemm with cancellation: the candidate search stops
-// promptly when ctx is canceled and returns ctx's error.
+// promptly when ctx is canceled and returns ctx's error — unless the
+// baseline fallback is enabled, in which case a deadline expiry or tuning
+// failure degrades to the manual baseline schedule instead.
 func (t *Tuner) TuneGemmCtx(ctx context.Context, p GemmParams) (*Tuned, error) {
 	op, err := gemm.NewOp(p)
 	if err != nil {
 		return nil, err
 	}
-	return t.tune(ctx, op, p.FLOPs())
+	return t.tune(ctx, op, p.FLOPs(), func() (*ir.Program, error) {
+		return baseline.FallbackGemm(p)
+	})
 }
 
 // TuneConv searches the schedule space of one convolution method.
@@ -137,10 +218,13 @@ func (t *Tuner) TuneConvCtx(ctx context.Context, method string, s ConvShape) (*T
 	if err != nil {
 		return nil, err
 	}
-	return t.tune(ctx, op, s.FLOPs())
+	return t.tune(ctx, op, s.FLOPs(), func() (*ir.Program, error) {
+		return baseline.FallbackConv(method, s)
+	})
 }
 
-func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64) (*Tuned, error) {
+func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64,
+	fallback func() (*ir.Program, error)) (*Tuned, error) {
 	if t.lib != nil {
 		if e, ok := t.lib.Get(op.Name()); ok {
 			prog, err := op.Compile(e.Strategy())
@@ -159,9 +243,17 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64) (*T
 			t.lib.Delete(op.Name())
 		}
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, t.model,
-		autotune.Options{Workers: t.workers, Progress: t.progress})
+	res, err := autotune.ModelBasedCtx(ctx, op, t.model, autotune.Options{
+		Workers:              t.workers,
+		Progress:             t.progress,
+		Faults:               t.faults,
+		Retry:                t.retry,
+		MaxCandidateFailures: t.maxFailures,
+	})
 	if err != nil {
+		if t.fallback == FallbackBaseline && !errors.Is(err, context.Canceled) {
+			return t.degrade(op.Name(), fallback, flops, err)
+		}
 		return nil, err
 	}
 	if t.lib != nil {
@@ -173,6 +265,32 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64) (*T
 		seconds:   res.Best.Measured,
 		spaceSize: res.Valid,
 		flops:     flops,
+		failed:    res.FailedCandidates,
+	}, nil
+}
+
+// degrade serves the manual baseline schedule in place of a failed tuning
+// run. The baseline is measured without fault injection — degradation is
+// the recovery path, and it must stay available while the injector is
+// sabotaging tuning measurements. Degraded results are never cached: the
+// next tuning attempt should search again, not be shadowed by the
+// emergency answer.
+func (t *Tuner) degrade(name string, fallback func() (*ir.Program, error),
+	flops int64, cause error) (*Tuned, error) {
+	prog, err := fallback()
+	if err != nil {
+		return nil, fmt.Errorf("swatop: tuning %s failed (%v); baseline fallback also failed: %w", name, cause, err)
+	}
+	secs, err := runTimed(prog)
+	if err != nil {
+		return nil, fmt.Errorf("swatop: tuning %s failed (%v); baseline fallback failed to run: %w", name, cause, err)
+	}
+	return &Tuned{
+		program:  prog,
+		strategy: fmt.Sprintf("baseline fallback (tuning failed: %v)", cause),
+		seconds:  secs,
+		flops:    flops,
+		degraded: true,
 	}, nil
 }
 
@@ -188,6 +306,15 @@ func (t *Tuned) Strategy() string { return t.strategy }
 
 // SpaceSize is the number of valid schedules that were considered.
 func (t *Tuned) SpaceSize() int { return t.spaceSize }
+
+// Degraded reports whether this result is the baseline fallback served in
+// place of a failed or deadline-expired tuning run (FallbackBaseline).
+func (t *Tuned) Degraded() bool { return t.degraded }
+
+// FailedCandidates is the number of candidates whose evaluation panicked
+// or exhausted its retries during the search; they were skipped, never
+// selected.
+func (t *Tuned) FailedCandidates() int { return t.failed }
 
 // EmitC generates the SW26010 C code of the tuned operator.
 func (t *Tuned) EmitC() (string, error) { return codegen.EmitC(t.program) }

@@ -1,0 +1,134 @@
+package swatop
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// brokenTuner returns a fresh tuner whose every measurement panics — the
+// worst case: no candidate survives, so tuning as a whole fails.
+func brokenTuner(t *testing.T) *Tuner {
+	t.Helper()
+	tn, err := NewTuner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewFaultInjector(1)
+	in.PanicEveryNth(FaultMeasure, 1, "sabotaged measurement")
+	tn.SetFaults(in)
+	return tn
+}
+
+func TestFacadeFallbackServesBaselineWhenAllCandidatesFail(t *testing.T) {
+	tn := brokenTuner(t)
+	tn.SetFallback(FallbackBaseline)
+	tuned, err := tn.TuneGemmCtx(context.Background(), GemmParams{M: 256, N: 256, K: 256})
+	if err != nil {
+		t.Fatalf("fallback should have absorbed the failure: %v", err)
+	}
+	if !tuned.Degraded() {
+		t.Fatal("baseline result must be flagged degraded")
+	}
+	if tuned.Seconds() <= 0 || tuned.GFLOPS() <= 0 {
+		t.Fatalf("degenerate degraded result: %+v", tuned)
+	}
+	if !strings.Contains(tuned.Strategy(), "baseline fallback") {
+		t.Fatalf("strategy should say where the schedule came from: %q", tuned.Strategy())
+	}
+	if _, err := tuned.EmitC(); err != nil {
+		t.Fatalf("degraded result must still emit code: %v", err)
+	}
+}
+
+func TestFacadeFallbackConv(t *testing.T) {
+	tn := brokenTuner(t)
+	tn.SetFallback(FallbackBaseline)
+	s := ConvShape{B: 4, Ni: 32, No: 32, Ro: 8, Co: 8, Kr: 3, Kc: 3}
+	tuned, err := tn.TuneConvCtx(context.Background(), Implicit, s)
+	if err != nil {
+		t.Fatalf("fallback should have absorbed the failure: %v", err)
+	}
+	if !tuned.Degraded() || tuned.Seconds() <= 0 {
+		t.Fatalf("expected a usable degraded conv result, got %+v", tuned)
+	}
+}
+
+func TestFacadeNoFallbackStillFails(t *testing.T) {
+	tn := brokenTuner(t)
+	_, err := tn.TuneGemmCtx(context.Background(), GemmParams{M: 256, N: 256, K: 256})
+	if err == nil {
+		t.Fatal("without FallbackBaseline a dead search must be an error")
+	}
+}
+
+func TestFacadeFallbackOnExpiredDeadline(t *testing.T) {
+	tn := sharedTuner(t)
+	tn.SetFallback(FallbackBaseline)
+	defer tn.SetFallback(FallbackNone)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	tuned, err := tn.TuneGemmCtx(ctx, GemmParams{M: 256, N: 256, K: 256})
+	if err != nil {
+		t.Fatalf("expired deadline should degrade, not fail: %v", err)
+	}
+	if !tuned.Degraded() {
+		t.Fatal("deadline-expired result must be flagged degraded")
+	}
+}
+
+func TestFacadeExplicitCancelBeatsFallback(t *testing.T) {
+	tn := sharedTuner(t)
+	tn.SetFallback(FallbackBaseline)
+	defer tn.SetFallback(FallbackNone)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := tn.TuneGemmCtx(ctx, GemmParams{M: 256, N: 256, K: 256})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("explicit cancellation must surface, not degrade: %v", err)
+	}
+}
+
+func TestFacadeDegradedResultIsNeverCached(t *testing.T) {
+	tn := brokenTuner(t)
+	tn.SetFallback(FallbackBaseline)
+	lib := NewLibrary()
+	tn.UseLibrary(lib)
+	tuned, err := tn.TuneGemmCtx(context.Background(), GemmParams{M: 256, N: 256, K: 256})
+	if err != nil || !tuned.Degraded() {
+		t.Fatalf("expected degraded result, got %+v, %v", tuned, err)
+	}
+	if lib.Len() != 0 {
+		t.Fatalf("degraded schedule leaked into the library (%d entries)", lib.Len())
+	}
+}
+
+func TestFacadeRetryAbsorbsTransients(t *testing.T) {
+	p := GemmParams{M: 256, N: 256, K: 256}
+	clean, err := sharedTuner(t).TuneGemm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := NewTuner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewFaultInjector(3)
+	in.FailEveryNth(FaultMeasure, 3, TransientError(errors.New("flaky timer")))
+	tn.SetFaults(in)
+	tn.SetRetry(3, time.Microsecond, time.Microsecond)
+	faulty, err := tn.TuneGemm(p)
+	if err != nil {
+		t.Fatalf("retries should have absorbed every transient: %v", err)
+	}
+	if faulty.Degraded() || faulty.FailedCandidates() != 0 {
+		t.Fatalf("no candidate should have failed: degraded=%v failed=%d",
+			faulty.Degraded(), faulty.FailedCandidates())
+	}
+	if faulty.Strategy() != clean.Strategy() || faulty.Seconds() != clean.Seconds() {
+		t.Fatalf("retry changed the result:\nclean  %s (%v)\nfaulty %s (%v)",
+			clean.Strategy(), clean.Seconds(), faulty.Strategy(), faulty.Seconds())
+	}
+}
