@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet unreachable fmt test race fuzz ci bench
+.PHONY: all build vet unreachable fmt test race fuzz shuffle ci bench
 
 all: build
 
@@ -33,8 +33,13 @@ race:
 fuzz:
 	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzLibraryLoad -fuzztime 10s
 
+# Order-independence: tests must pass in any execution order (catches
+# hidden coupling through shared caches, libraries or package state).
+shuffle:
+	$(GO) test -shuffle=on -count=1 ./...
+
 # The tier-1 loop: what every change must keep green.
-ci: build vet unreachable fmt test race fuzz
+ci: build vet unreachable fmt test race fuzz shuffle
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

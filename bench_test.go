@@ -289,3 +289,35 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkInferVGG16 measures the end-to-end network runtime on the
+// cached-library path: the first inference tunes every layer and fills the
+// library outside the timer, then each iteration replays the whole network
+// from cached schedules — the steady-state inference cost the paper's
+// swCaffe integration pays per forward pass.
+func BenchmarkInferVGG16(b *testing.B) {
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := NewLibrary()
+	e.UseLibrary(lib)
+	e.SetWorkers(runtime.NumCPU())
+	warm, err := e.Infer("vgg16", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *NetReport
+	for i := 0; i < b.N; i++ {
+		rep, err = e.Infer("vgg16", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Seconds != warm.Seconds {
+			b.Fatalf("cached replay %g s differs from tuning run %g s", rep.Seconds, warm.Seconds)
+		}
+	}
+	b.ReportMetric(rep.Seconds*1e3, "machine-ms")
+	b.ReportMetric(rep.GFLOPS, "machine-GFLOPS")
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	swbench [-full] [-csv] [-workers N] [experiment ...]
+//	swbench [-full] [-csv] [-json] [-workers N] [experiment ...]
 //
 // Experiments: substrate fig5 fig6 fig7 table1 fig8 table2 table3 fig9
 // fig10 fig11 (default: all). -full runs the complete parameter grids
@@ -25,6 +25,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run complete parameter grids (slow)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables")
 	workers := flag.Int("workers", runtime.NumCPU(),
 		"concurrent tuning workers (results are worker-count independent)")
 	retries := flag.Int("retries", 1,
@@ -69,11 +70,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "swbench %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			doc, err := table.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "swbench %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println(doc)
+		case *csv:
 			fmt.Printf("# %s\n%s\n", e.Title, table.CSV())
-		} else {
+		default:
 			fmt.Println(table.String())
 		}
-		fmt.Printf("(%s finished in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		out := os.Stdout
+		if *jsonOut {
+			// Keep stdout machine-parseable when emitting JSON.
+			out = os.Stderr
+		}
+		fmt.Fprintf(out, "(%s finished in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -1,0 +1,177 @@
+// Command swinfer runs end-to-end network inference on the simulated
+// SW26010 core group: it builds the network graph (VGG16, ResNet or YOLO),
+// resolves a tuned schedule for every convolution and fully-connected
+// layer (through a schedule library when -lib is given), executes all
+// layers as one serialized machine timeline and reports per-layer and
+// total simulated seconds against the manual-library baseline.
+//
+// Usage:
+//
+//	swinfer [-net vgg16] [-batch 1,32,128] [-workers N] [-json]
+//	        [-lib schedules.json] [-fallback] [-verify] [-timeline]
+//
+// The reported machine seconds are deterministic: identical for every
+// -workers value and identical between cached and freshly-tuned runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"swatop"
+	"swatop/internal/report"
+)
+
+func main() {
+	net := flag.String("net", "vgg16", "network: vgg16, resnet or yolo")
+	batches := flag.String("batch", "1", "comma-separated batch sizes")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"concurrent tuning workers (machine seconds are worker-count independent)")
+	jsonOut := flag.Bool("json", false, "emit one JSON document instead of tables")
+	libPath := flag.String("lib", "", "schedule library file: loaded if present, saved after tuning")
+	fallback := flag.Bool("fallback", false, "degrade failed layer tuning to the manual baseline schedule")
+	verify := flag.Bool("verify", false, "functional execution: check every tuned layer against the reference oracle (slow)")
+	timeline := flag.Bool("timeline", false, "print the merged network timeline per batch size")
+	retries := flag.Int("retries", 1, "total attempts per candidate measurement for transient errors")
+	flag.Parse()
+
+	sizes, err := parseBatches(*batches)
+	if err != nil {
+		fail(err)
+	}
+
+	eng, err := swatop.NewEngine()
+	if err != nil {
+		fail(err)
+	}
+	eng.SetWorkers(*workers)
+	if *fallback {
+		eng.SetFallback(swatop.FallbackBaseline)
+	}
+	if *verify {
+		eng.SetVerify(0)
+	}
+	if *retries > 1 {
+		eng.SetRetry(*retries, 0, 0)
+	}
+
+	var lib *swatop.Library
+	if *libPath != "" {
+		lib = swatop.NewLibrary()
+		if _, err := os.Stat(*libPath); err == nil {
+			if err := lib.Load(*libPath); err != nil {
+				fail(fmt.Errorf("load %s: %w", *libPath, err))
+			}
+		}
+		eng.UseLibrary(lib)
+	}
+	eng.SetProgress(func(node string, done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d layers scheduled (%s)   ", *net, done, total, node)
+	})
+
+	var reports []*swatop.NetReport
+	for _, b := range sizes {
+		rep, err := eng.Infer(*net, b)
+		fmt.Fprintln(os.Stderr)
+		if err != nil {
+			fail(err)
+		}
+		reports = append(reports, rep)
+	}
+	if lib != nil {
+		if err := lib.Save(*libPath); err != nil {
+			fail(fmt.Errorf("save %s: %w", *libPath, err))
+		}
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, rep := range reports {
+			fmt.Println(layerTable(rep).String())
+			fmt.Println(summaryLine(rep))
+			fmt.Println()
+		}
+	}
+	if *timeline {
+		for _, rep := range reports {
+			fmt.Printf("--- %s batch %d timeline ---\n%s\n", rep.Net, rep.Batch, rep.Timeline())
+		}
+	}
+}
+
+func layerTable(rep *swatop.NetReport) *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s inference, batch %d", rep.Net, rep.Batch),
+		Headers: []string{"layer", "kind", "ms", "baseline ms", "GFLOPS", "schedule"},
+	}
+	for _, l := range rep.Layers {
+		sched := l.Strategy
+		switch {
+		case l.Degraded:
+			sched = "baseline fallback"
+		case l.Cached:
+			sched = "cached: " + sched
+		}
+		if len(sched) > 48 {
+			sched = sched[:45] + "..."
+		}
+		gflops := ""
+		if l.GFLOPS > 0 {
+			gflops = fmt.Sprintf("%.1f", l.GFLOPS)
+		}
+		t.Rows = append(t.Rows, []string{
+			l.Name,
+			l.Kind,
+			fmt.Sprintf("%.4f", l.Seconds*1e3),
+			fmt.Sprintf("%.4f", l.BaselineSeconds*1e3),
+			gflops,
+			sched,
+		})
+	}
+	return t
+}
+
+func summaryLine(rep *swatop.NetReport) string {
+	s := fmt.Sprintf("total %.3f ms, %.1f GFLOPS, speedup %.2fx vs manual library; activations %.1f MB (naive %.1f MB)",
+		rep.Seconds*1e3, rep.GFLOPS, rep.Speedup,
+		float64(rep.PeakActivationBytes)/1e6, float64(rep.NaiveActivationBytes)/1e6)
+	if rep.CachedLayers > 0 || rep.DegradedLayers > 0 {
+		s += fmt.Sprintf(" [%d tuned, %d cached, %d degraded]",
+			rep.TunedLayers, rep.CachedLayers, rep.DegradedLayers)
+	}
+	return s
+}
+
+func parseBatches(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("swinfer: bad batch size %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("swinfer: no batch sizes in %q", s)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "swinfer:", err)
+	os.Exit(1)
+}

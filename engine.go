@@ -1,0 +1,185 @@
+package swatop
+
+import (
+	"context"
+	"time"
+
+	"swatop/internal/autotune"
+	"swatop/internal/graph"
+	"swatop/internal/infer"
+	"swatop/internal/trace"
+)
+
+// Engine is the network inference runtime: it executes one of the paper's
+// evaluation networks (VGG16, ResNet, YOLO) end to end on the simulated
+// core group, resolving every layer's schedule through the autotuner (or a
+// schedule Library) and reporting the serialized network timeline — the
+// facade over internal/graph + internal/infer, playing the role swCaffe
+// integration plays in the paper.
+type Engine struct {
+	eng         *infer.Engine
+	lib         *Library
+	workers     int
+	fallback    FallbackPolicy
+	faults      *FaultInjector
+	retry       autotune.Retry
+	maxFailures int
+	verify      bool
+	tolerance   float64
+	progress    func(node string, done, total int)
+}
+
+// NewEngine fits the cost model (the per-machine offline calibration) and
+// returns a ready inference engine.
+func NewEngine() (*Engine, error) {
+	e, err := infer.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: e}, nil
+}
+
+// UseLibrary attaches a schedule cache: layer tuning consults it first and
+// records fresh results, so a network tunes once and replays afterwards.
+func (e *Engine) UseLibrary(l *Library) { e.lib = l }
+
+// SetWorkers sets the tuning concurrency. The resolved schedules — and the
+// network's machine seconds — are identical for every worker count.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
+
+// SetFallback selects the degradation policy when a layer's tuning fails.
+func (e *Engine) SetFallback(p FallbackPolicy) { e.fallback = p }
+
+// SetFaults attaches a fault injector to tuning measurements (nil
+// detaches); the network's own execution stays clean.
+func (e *Engine) SetFaults(in *FaultInjector) { e.faults = in }
+
+// SetRetry configures retrying of transient tuning-measurement errors,
+// exactly as Tuner.SetRetry does.
+func (e *Engine) SetRetry(attempts int, base, max time.Duration) {
+	e.retry = autotune.Retry{Attempts: attempts, BaseDelay: base, MaxDelay: max}
+}
+
+// SetMaxCandidateFailures aborts a layer's tuning once more than n
+// candidates have failed (0 = unlimited).
+func (e *Engine) SetMaxCandidateFailures(n int) { e.maxFailures = n }
+
+// SetVerify enables functional execution: every tuned layer's output is
+// checked against the single-operator reference oracle with the given
+// max-abs-error tolerance (<= 0 selects the default 1e-3). Functional runs
+// compute real data and are far slower; machine seconds remain
+// deterministic but differ slightly from timed-only runs, which
+// fast-forward long loops (a near-exact extrapolation).
+func (e *Engine) SetVerify(tolerance float64) {
+	e.verify = true
+	e.tolerance = tolerance
+}
+
+// SetProgress installs a per-layer schedule-resolution callback.
+func (e *Engine) SetProgress(fn func(node string, done, total int)) { e.progress = fn }
+
+// LayerReport is one executed layer of a network run.
+type LayerReport struct {
+	Name            string  `json:"name"`
+	Kind            string  `json:"kind"`
+	StartSeconds    float64 `json:"start_seconds"`
+	Seconds         float64 `json:"seconds"`
+	BaselineSeconds float64 `json:"baseline_seconds,omitempty"`
+	FLOPs           int64   `json:"flops,omitempty"`
+	GFLOPS          float64 `json:"gflops,omitempty"`
+	Cached          bool    `json:"cached,omitempty"`
+	Degraded        bool    `json:"degraded,omitempty"`
+	Strategy        string  `json:"strategy,omitempty"`
+	MaxAbsErr       float64 `json:"max_abs_err,omitempty"`
+	Checked         bool    `json:"checked,omitempty"`
+}
+
+// NetReport is a completed network inference run.
+type NetReport struct {
+	Net             string        `json:"net"`
+	Batch           int           `json:"batch"`
+	Layers          []LayerReport `json:"layers"`
+	Seconds         float64       `json:"machine_seconds"`
+	BaselineSeconds float64       `json:"baseline_seconds,omitempty"`
+	Speedup         float64       `json:"speedup,omitempty"`
+	FLOPs           int64         `json:"flops"`
+	GFLOPS          float64       `json:"gflops"`
+	TunedLayers     int           `json:"tuned_layers"`
+	CachedLayers    int           `json:"cached_layers"`
+	DegradedLayers  int           `json:"degraded_layers"`
+	// Activation memory: the engine's ping-pong buffer-reuse plan vs
+	// dedicating every feature map.
+	PeakActivationBytes  int64 `json:"peak_activation_bytes"`
+	NaiveActivationBytes int64 `json:"naive_activation_bytes"`
+
+	timeline *trace.Log
+}
+
+// Timeline renders the merged network timeline: busy-time summary plus a
+// coarse Gantt chart over all layers.
+func (r *NetReport) Timeline() string {
+	if r.timeline == nil {
+		return ""
+	}
+	return r.timeline.Summary() + r.timeline.Gantt(72)
+}
+
+// Infer runs a network ("vgg16", "resnet", "yolo") at one batch size.
+func (e *Engine) Infer(net string, batch int) (*NetReport, error) {
+	return e.InferCtx(context.Background(), net, batch)
+}
+
+// InferCtx is Infer with cancellation: both schedule resolution and the
+// layer-by-layer execution stop promptly when ctx is canceled.
+func (e *Engine) InferCtx(ctx context.Context, net string, batch int) (*NetReport, error) {
+	g, err := graph.ByName(net, batch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.eng.Run(ctx, g, infer.Options{
+		Workers:              e.workers,
+		Library:              e.lib,
+		Fallback:             e.fallback == FallbackBaseline,
+		Faults:               e.faults,
+		Retry:                e.retry,
+		MaxCandidateFailures: e.maxFailures,
+		Functional:           e.verify,
+		Tolerance:            e.tolerance,
+		Progress:             e.progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &NetReport{
+		Net:                  res.Net,
+		Batch:                res.Batch,
+		Seconds:              res.Seconds,
+		BaselineSeconds:      res.BaselineSeconds,
+		Speedup:              res.Speedup,
+		FLOPs:                res.FLOPs,
+		GFLOPS:               res.GFLOPS(),
+		TunedLayers:          res.TunedOps,
+		CachedLayers:         res.CachedOps,
+		DegradedLayers:       res.DegradedOps,
+		PeakActivationBytes:  res.Plan.PeakActivationBytes() + res.Plan.IOBytes,
+		NaiveActivationBytes: res.Plan.NaiveBytes + res.Plan.IOBytes,
+		timeline:             res.Timeline,
+	}
+	for _, l := range res.Layers {
+		rep.Layers = append(rep.Layers, LayerReport{
+			Name:            l.Name,
+			Kind:            string(l.Kind),
+			StartSeconds:    l.Start,
+			Seconds:         l.Seconds,
+			BaselineSeconds: l.BaselineSeconds,
+			FLOPs:           l.FLOPs,
+			GFLOPS:          l.GFLOPS(),
+			Cached:          l.Cached,
+			Degraded:        l.Degraded,
+			Strategy:        l.Strategy,
+			MaxAbsErr:       l.MaxAbsErr,
+			Checked:         l.Checked,
+		})
+	}
+	return rep, nil
+}

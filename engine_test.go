@@ -1,0 +1,110 @@
+package swatop
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEngineVGG16EndToEnd is the acceptance test of the network runtime:
+// all 13 VGG16 convolutions plus the fully-connected tail execute on one
+// simulated machine, and the total machine seconds are identical across
+// tuning worker counts and across cached vs freshly-tuned runs.
+func TestEngineVGG16EndToEnd(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibrary()
+	e.UseLibrary(lib)
+	e.SetWorkers(4)
+
+	rep, err := e.Infer("vgg16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, gemmN := 0, 0
+	for _, l := range rep.Layers {
+		if l.Kind == "conv" {
+			conv++
+		}
+		if l.Kind == "gemm" {
+			gemmN++
+		}
+	}
+	if conv != 13 || gemmN != 3 {
+		t.Fatalf("%d conv + %d gemm layers, want 13 + 3", conv, gemmN)
+	}
+	if rep.Seconds <= 0 {
+		t.Fatal("non-positive machine seconds")
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup %g, want positive", rep.Speedup)
+	}
+	if rep.PeakActivationBytes >= rep.NaiveActivationBytes {
+		t.Fatalf("buffer plan does not reuse: peak %d >= naive %d",
+			rep.PeakActivationBytes, rep.NaiveActivationBytes)
+	}
+	if tl := rep.Timeline(); !strings.Contains(tl, "gemm") || !strings.Contains(tl, "dma") {
+		t.Fatalf("timeline missing channels:\n%s", tl)
+	}
+
+	// Cached replay with a different worker count: same machine seconds,
+	// every operator resolved from the library.
+	e.SetWorkers(1)
+	cached, err := e.Infer("vgg16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.CachedLayers != 16 || cached.TunedLayers != 0 {
+		t.Fatalf("cached run: %d cached / %d tuned, want 16 / 0", cached.CachedLayers, cached.TunedLayers)
+	}
+	if cached.Seconds != rep.Seconds {
+		t.Fatalf("cached run %g s differs from fresh run %g s", cached.Seconds, rep.Seconds)
+	}
+
+	// A fresh library at yet another worker count must land on the same
+	// total (schedule selection is worker-independent).
+	e2, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.SetWorkers(2)
+	again, err := e2.Infer("vgg16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Seconds != rep.Seconds {
+		t.Fatalf("worker count changed the network: %g vs %g", again.Seconds, rep.Seconds)
+	}
+
+	// The report is the CLI's JSON document; it must round-trip.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NetReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Net != "vgg16" || back.Batch != 1 || len(back.Layers) != len(rep.Layers) {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestEngineUnknownNetAndCancellation(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Infer("alexnet", 1); err == nil {
+		t.Fatal("unknown network must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.InferCtx(ctx, "vgg16", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -41,6 +41,14 @@ type Options struct {
 	// faults.DMATransfer / faults.ComputeStall inside the machine). Nil in
 	// every production run.
 	Faults *faults.Injector
+	// Machine, when non-nil, runs the program on an existing machine
+	// instead of a fresh one: the clock continues from where the previous
+	// operator left it and counters accumulate, which is how a network
+	// runtime executes many operators as one serialized timeline. The
+	// caller owns the machine's fault injector (Faults, if also set, is
+	// attached); Result.Seconds is this run's time, not the whole
+	// timeline's.
+	Machine *sw26010.Machine
 }
 
 // fastLoopThreshold is the minimum extent for fast-forwarding: iterations
@@ -49,9 +57,12 @@ const fastLoopThreshold = 10
 
 // Result reports a completed run.
 type Result struct {
-	// Seconds is the simulated execution time of the operator.
+	// Seconds is the simulated execution time of the operator: the
+	// machine-clock advance of this run, so on a shared machine
+	// (Options.Machine) it excludes time spent by earlier operators.
 	Seconds float64
-	// Counters are the machine's activity counters.
+	// Counters are the machine's activity counters (cumulative when the
+	// run reused a machine).
 	Counters sw26010.Counters
 }
 
@@ -88,6 +99,7 @@ func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, e
 		spm:     map[string]*sw26010.SPMBuffer{},
 		replies: map[string]int{},
 	}
+	base := st.m.Now()
 	for _, decl := range p.Tensors {
 		if decl.Scratch {
 			layout := decl.Layout
@@ -149,10 +161,16 @@ func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, e
 	if n := st.m.OutstandingDMA(); n != 0 {
 		return Result{}, fmt.Errorf("exec %s: %d DMA transfers never waited for", p.Name, n)
 	}
-	return Result{Seconds: st.m.Elapsed(), Counters: st.m.Counters}, nil
+	return Result{Seconds: st.m.Elapsed() - base, Counters: st.m.Counters}, nil
 }
 
 func newMachine(opt Options) *sw26010.Machine {
+	if opt.Machine != nil {
+		if opt.Faults != nil {
+			opt.Machine.SetFaults(opt.Faults)
+		}
+		return opt.Machine
+	}
 	m := sw26010.NewMachine()
 	m.SetFaults(opt.Faults)
 	return m

@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"math"
 	"testing"
 
 	"swatop/internal/ir"
+	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 )
 
@@ -255,5 +257,40 @@ func TestFastLoopsMatchExactOnUniformLoop(t *testing.T) {
 	}
 	if fast.Counters.DMAOps != exact.Counters.DMAOps {
 		t.Fatalf("counter extrapolation wrong: %d vs %d", fast.Counters.DMAOps, exact.Counters.DMAOps)
+	}
+}
+
+// TestRunSharedMachine: two operators executed on one machine serialize on
+// one timeline — per-run Seconds are deltas, counters accumulate, and the
+// shared clock equals the sum of the isolated runs.
+func TestRunSharedMachine(t *testing.T) {
+	solo, err := Run(manualProgram(), bind3(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sw26010.NewMachine()
+	first, err := Run(manualProgram(), bind3(), Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ResetSPM()
+	second, err := Run(manualProgram(), bind3(), Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second delta is a subtraction of two large clock values, so allow
+	// float rounding at the last ulp; everything else is exact.
+	close := func(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Abs(b) }
+	if first.Seconds != solo.Seconds {
+		t.Fatalf("first shared run %g, isolated %g", first.Seconds, solo.Seconds)
+	}
+	if !close(second.Seconds, solo.Seconds) {
+		t.Fatalf("second shared run %g, isolated %g — delta accounting broken", second.Seconds, solo.Seconds)
+	}
+	if got, want := m.Elapsed(), 2*solo.Seconds; !close(got, want) {
+		t.Fatalf("shared clock %g, want %g", got, want)
+	}
+	if second.Counters.GemmCalls != 2 || second.Counters.DMAOps != 6 {
+		t.Fatalf("counters should accumulate on a shared machine: %+v", second.Counters)
 	}
 }

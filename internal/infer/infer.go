@@ -1,0 +1,718 @@
+// Package infer is the network inference runtime: it executes a whole
+// internal/graph network on one simulated SW26010 core group, resolving
+// each tuned operator's schedule from a cache.Library (tuning misses
+// through the autotune pipeline), planning main-memory buffer reuse across
+// layers, and merging the per-layer execution timelines into a single
+// network timeline. It is the repo's equivalent of the paper's swCaffe
+// integration: the tuned operators stop being isolated benchmarks and
+// serve real end-to-end inference.
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"swatop/internal/autotune"
+	"swatop/internal/baseline"
+	"swatop/internal/cache"
+	"swatop/internal/conv"
+	"swatop/internal/costmodel"
+	"swatop/internal/exec"
+	"swatop/internal/faults"
+	"swatop/internal/gemm"
+	"swatop/internal/graph"
+	"swatop/internal/ir"
+	"swatop/internal/sw26010"
+	"swatop/internal/tensor"
+	"swatop/internal/trace"
+)
+
+// Conv method names (matching baseline.FallbackConv).
+const (
+	methodImplicit = "implicit"
+	methodExplicit = "explicit"
+	methodWinograd = "winograd"
+)
+
+// Engine runs networks. Construct once (fitting the cost model is the
+// per-machine offline calibration) and reuse across runs.
+type Engine struct {
+	model *costmodel.GemmModel
+}
+
+// NewEngine fits the autotuner's cost model.
+func NewEngine() (*Engine, error) {
+	m, err := costmodel.FitGemmModel()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{model: m}, nil
+}
+
+// Options configures one network run.
+type Options struct {
+	// Workers is the tuning concurrency (autotune.Options.Workers). The
+	// resolved schedules — and therefore the network's machine seconds —
+	// are identical for every worker count.
+	Workers int
+	// Library, when non-nil, is consulted before tuning and records fresh
+	// results. Within a single run, repeated operator shapes resolve once
+	// even without a library.
+	Library *cache.Library
+	// Fallback degrades failed tuning runs to the manual baseline
+	// schedule (never cached) instead of failing the whole network.
+	Fallback bool
+	// Faults, when non-nil, is threaded into tuning measurements only;
+	// the network's own execution machine stays clean — degradation is
+	// the recovery path and must work while tuning is being sabotaged.
+	Faults *faults.Injector
+	// Retry / MaxCandidateFailures mirror the tuner's resilience knobs.
+	Retry                autotune.Retry
+	MaxCandidateFailures int
+	// Functional executes with real float32 data and checks every tuned
+	// operator against its reference oracle (slow: use tiny networks).
+	// Timed-only otherwise, fast-forwarding long loops — machine seconds
+	// stay deterministic within each mode, but differ slightly between
+	// them (the fast-forward extrapolation is near-exact, not exact).
+	Functional bool
+	// Tolerance is the per-layer max-abs-error bound in functional mode
+	// (default 1e-3).
+	Tolerance float64
+	// SkipBaseline skips the per-layer manual-library comparison run.
+	SkipBaseline bool
+	// Progress, when non-nil, is called after each operator node's
+	// schedule is resolved.
+	Progress func(node string, done, total int)
+}
+
+// Layer is one executed node of the network.
+type Layer struct {
+	Name string
+	Kind graph.Kind
+	// Start is the node's start time on the network timeline; Seconds its
+	// simulated execution time on the shared machine.
+	Start   float64
+	Seconds float64
+	// BaselineSeconds is the manual-library time for the same node (stubs
+	// cost the same in both runtimes; operators without a usable baseline
+	// report their tuned time).
+	BaselineSeconds float64
+	FLOPs           int64
+	// Cached/Degraded/Strategy/SpaceSize describe how the schedule was
+	// resolved (operator nodes only).
+	Cached    bool
+	Degraded  bool
+	Strategy  string
+	SpaceSize int
+	// Checked/MaxAbsErr report the functional-mode oracle comparison.
+	Checked   bool
+	MaxAbsErr float64
+	// Trace is the node's timeline rebased to start at zero.
+	Trace *trace.Log
+}
+
+// GFLOPS is the layer's simulated throughput (0 for the glue stubs).
+func (l Layer) GFLOPS() float64 {
+	if l.Seconds <= 0 || l.FLOPs == 0 {
+		return 0
+	}
+	return float64(l.FLOPs) / l.Seconds / 1e9
+}
+
+// Result is a completed network run.
+type Result struct {
+	Net    string
+	Batch  int
+	Layers []Layer
+	// Seconds is the total machine time of the network: one shared
+	// machine executes every node, so this is its final Elapsed().
+	Seconds float64
+	// BaselineSeconds sums the per-layer manual-library times; Speedup is
+	// their ratio (0 when the baseline was skipped).
+	BaselineSeconds float64
+	Speedup         float64
+	FLOPs           int64
+	// Timeline is the merged network timeline (per-layer logs shifted to
+	// their start times).
+	Timeline *trace.Log
+	Counters sw26010.Counters
+	Plan     Plan
+	// Output holds the network output tensor after a functional run.
+	Output *tensor.Tensor
+	// CachedOps / DegradedOps / TunedOps count schedule resolutions by
+	// kind across the operator nodes.
+	TunedOps, CachedOps, DegradedOps int
+}
+
+// GFLOPS is the whole-network simulated throughput.
+func (r *Result) GFLOPS() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.FLOPs) / r.Seconds / 1e9
+}
+
+// resolvedOp is one operator node's schedule resolution.
+type resolvedOp struct {
+	prog      *ir.Program
+	strategy  string
+	spaceSize int
+	cached    bool
+	degraded  bool
+}
+
+// Run executes a network end to end. Schedules are resolved first (cache
+// hits, then tuning), buffers are planned, and every node then executes in
+// topological order on one shared machine — so the network's total time is
+// a single serialized timeline, deterministic across worker counts and
+// across cached vs freshly-tuned runs (the engine re-executes the compiled
+// program either way; it never trusts cached seconds).
+func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-3
+	}
+	resolved, err := e.resolveAll(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	plan := planBuffers(g)
+	ts, err := allocTensors(g, resolved, plan, opts.Functional)
+	if err != nil {
+		return nil, err
+	}
+
+	m := sw26010.NewMachine()
+	timeline := &trace.Log{}
+	res := &Result{Net: g.Name, Batch: g.Batch, FLOPs: g.FLOPs(), Plan: plan}
+	baseMemo := map[string]float64{}
+
+	for _, n := range g.Topo() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := m.Now()
+		nodeLog := &trace.Log{}
+		layer := Layer{Name: n.Name, Kind: n.Kind, Start: start}
+
+		switch n.Kind {
+		case graph.Conv, graph.Gemm:
+			r := resolved[n.Name]
+			binds, err := opBinds(n, r.prog, ts)
+			if err != nil {
+				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+			}
+			runRes, err := exec.Run(r.prog, binds, exec.Options{
+				Functional: opts.Functional,
+				FastLoops:  !opts.Functional,
+				Trace:      nodeLog,
+				Machine:    m,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+			}
+			// Each generated kernel owns the whole scratch pad for its
+			// invocation; release it before the successor plans its tiles.
+			m.ResetSPM()
+			layer.Seconds = runRes.Seconds
+			layer.Strategy = r.strategy
+			layer.Cached = r.cached
+			layer.Degraded = r.degraded
+			layer.SpaceSize = r.spaceSize
+			if n.Kind == graph.Conv {
+				layer.FLOPs = n.Conv.FLOPs()
+			} else {
+				layer.FLOPs = n.Gemm.FLOPs()
+			}
+			switch {
+			case r.cached:
+				res.CachedOps++
+			case r.degraded:
+				res.DegradedOps++
+			default:
+				res.TunedOps++
+			}
+			if opts.Functional {
+				maxErr, err := verifyNode(n, ts)
+				if err != nil {
+					return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+				}
+				layer.Checked = true
+				layer.MaxAbsErr = maxErr
+				if maxErr > opts.Tolerance {
+					return nil, fmt.Errorf("infer %s: node %s: max abs error %g exceeds tolerance %g",
+						g.Name, n.Name, maxErr, opts.Tolerance)
+				}
+			}
+		default:
+			secs, err := runStub(m, g, n, ts, opts.Functional, nodeLog)
+			if err != nil {
+				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+			}
+			layer.Seconds = secs
+		}
+
+		// The shared machine stamps events in network time already; merge
+		// them straight onto the network timeline and keep a per-layer
+		// view rebased to zero.
+		timeline.Merge(0, nodeLog)
+		layerLog := &trace.Log{}
+		layerLog.Merge(-start, nodeLog)
+		layer.Trace = layerLog
+
+		if !opts.SkipBaseline {
+			layer.BaselineSeconds = baselineSeconds(n, layer.Seconds, baseMemo)
+			res.BaselineSeconds += layer.BaselineSeconds
+		}
+		res.Layers = append(res.Layers, layer)
+	}
+
+	res.Seconds = m.Elapsed()
+	res.Counters = m.Counters
+	res.Timeline = timeline
+	if !opts.SkipBaseline && res.Seconds > 0 {
+		res.Speedup = res.BaselineSeconds / res.Seconds
+	}
+	if opts.Functional {
+		res.Output = ts[g.Output]
+	}
+	return res, nil
+}
+
+// resolveAll resolves a schedule for every operator node. Repeated shapes
+// (VGG16's conv3_2/conv3_3, …) share one resolution per run even without a
+// library attached.
+func (e *Engine) resolveAll(ctx context.Context, g *graph.Graph, opts Options) (map[string]*resolvedOp, error) {
+	nodes := g.Topo()
+	total := g.CountKind(graph.Conv) + g.CountKind(graph.Gemm)
+	memo := map[string]*resolvedOp{}
+	out := map[string]*resolvedOp{}
+	done := 0
+	for _, n := range nodes {
+		if n.Kind != graph.Conv && n.Kind != graph.Gemm {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var key string
+		if n.Kind == graph.Conv {
+			key = "conv:" + n.Conv.String()
+		} else {
+			key = "gemm:" + n.Gemm.String()
+		}
+		r, ok := memo[key]
+		if !ok {
+			var err error
+			if n.Kind == graph.Conv {
+				r, err = e.resolveConv(ctx, n.Conv, opts)
+			} else {
+				r, err = e.resolveGemm(ctx, n.Gemm, opts)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+			}
+			memo[key] = r
+		}
+		out[n.Name] = r
+		done++
+		if opts.Progress != nil {
+			opts.Progress(n.Name, done, total)
+		}
+	}
+	return out, nil
+}
+
+// resolveConv resolves a convolution node the way the paper's tuner does:
+// every applicable lowering method (implicit GEMM when the input-channel
+// count sustains it, explicit im2col, Winograd F(2x2,3x3) when the shape
+// qualifies) is tuned — or fetched from the library — independently, each
+// winner is re-timed on a fresh machine, and the fastest method's program
+// is kept. The method sweep is a fixed order with strict improvement, so
+// the choice is deterministic and identical between cached and fresh runs.
+func (e *Engine) resolveConv(ctx context.Context, s conv.Shape, opts Options) (*resolvedOp, error) {
+	type method struct {
+		name string
+		mk   func() (autotune.Operator, error)
+	}
+	var methods []method
+	if s.Ni >= conv.MinNiImplicit {
+		methods = append(methods, method{methodImplicit, func() (autotune.Operator, error) { return conv.NewImplicitOp(s) }})
+	}
+	methods = append(methods, method{methodExplicit, func() (autotune.Operator, error) { return conv.NewExplicitOp(s) }})
+	if conv.WinogradApplies(s) {
+		methods = append(methods, method{methodWinograd, func() (autotune.Operator, error) { return conv.NewWinogradOp(s) }})
+	}
+
+	var best *resolvedOp
+	var bestSecs float64
+	var firstErr error
+	for _, m := range methods {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		op, err := m.mk()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r, err := e.resolveOp(ctx, op, opts)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		secs, err := timeProgram(r.prog)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r.strategy = m.name + " " + r.strategy
+		if best == nil || secs < bestSecs {
+			best, bestSecs = r, secs
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("no applicable conv method for %s", s.String())
+	}
+	if opts.Fallback {
+		preferred := methodExplicit
+		if s.Ni >= conv.MinNiImplicit {
+			preferred = methodImplicit
+		}
+		return degrade(firstErr, func() (*ir.Program, error) { return baseline.FallbackConv(preferred, s) })
+	}
+	return nil, firstErr
+}
+
+// resolveGemm resolves a fully-connected node through the tiled-GEMM
+// operator, degrading to the xMath-style baseline when allowed.
+func (e *Engine) resolveGemm(ctx context.Context, p gemm.Params, opts Options) (*resolvedOp, error) {
+	op, err := gemm.NewOp(p)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.resolveOp(ctx, op, opts)
+	if err != nil {
+		if opts.Fallback && !errors.Is(err, context.Canceled) {
+			return degrade(err, func() (*ir.Program, error) { return baseline.FallbackGemm(p) })
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+// degrade builds the never-cached baseline-fallback resolution for a node
+// whose tuning failed.
+func degrade(tuneErr error, fallback func() (*ir.Program, error)) (*resolvedOp, error) {
+	prog, ferr := fallback()
+	if ferr != nil {
+		return nil, fmt.Errorf("tuning failed (%v); baseline fallback also failed: %w", tuneErr, ferr)
+	}
+	return &resolvedOp{
+		prog:     prog,
+		strategy: fmt.Sprintf("baseline fallback (tuning failed: %v)", tuneErr),
+		degraded: true,
+	}, nil
+}
+
+// resolveOp mirrors the facade tuner's cache-then-tune flow for one
+// operator: a library hit recompiles the cached strategy (stale entries are
+// dropped and retuned), a miss runs the model-based search and records the
+// result.
+func (e *Engine) resolveOp(ctx context.Context, op autotune.Operator, opts Options) (*resolvedOp, error) {
+	if opts.Library != nil {
+		if ent, ok := opts.Library.Get(op.Name()); ok {
+			prog, err := op.Compile(ent.Strategy())
+			if err == nil {
+				return &resolvedOp{
+					prog:      prog,
+					strategy:  ent.Strategy().String(),
+					spaceSize: ent.SpaceSize,
+					cached:    true,
+				}, nil
+			}
+			opts.Library.Delete(op.Name())
+		}
+	}
+	res, err := autotune.ModelBasedCtx(ctx, op, e.model, autotune.Options{
+		Workers:              opts.Workers,
+		Faults:               opts.Faults,
+		Retry:                opts.Retry,
+		MaxCandidateFailures: opts.MaxCandidateFailures,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.Library != nil {
+		opts.Library.Put(cache.FromStrategy(op.Name(), res.Best.Strategy, res.Best.Measured, res.Valid))
+	}
+	return &resolvedOp{
+		prog:      res.Best.Program,
+		strategy:  res.Best.Strategy.String(),
+		spaceSize: res.Valid,
+	}, nil
+}
+
+// graphTensorFor maps a program's operand declaration to the graph tensor
+// it binds. The repo's three operator families agree on their declaration
+// names: data input "in"/"B", weight "weight"/"weight2d"/"A", output
+// "out"/"out2d"/"C".
+func graphTensorFor(n *graph.Node, decl string) (string, error) {
+	switch decl {
+	case "in", "B":
+		return n.In[0], nil
+	case "weight", "weight2d", "A":
+		return n.In[1], nil
+	case "out", "out2d", "C":
+		return n.Out, nil
+	}
+	return "", fmt.Errorf("program declares unknown operand %q", decl)
+}
+
+// opBinds builds the exec.Run binding map for one operator node from the
+// engine's tensor table.
+func opBinds(n *graph.Node, prog *ir.Program, ts map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	binds := map[string]*tensor.Tensor{}
+	for _, decl := range prog.Tensors {
+		if decl.Scratch {
+			continue
+		}
+		gname, err := graphTensorFor(n, decl.Name)
+		if err != nil {
+			return nil, err
+		}
+		t, ok := ts[gname]
+		if !ok {
+			return nil, fmt.Errorf("tensor %q not allocated", gname)
+		}
+		binds[decl.Name] = t
+	}
+	return binds, nil
+}
+
+// allocTensors materializes the engine's tensor table. Each graph tensor
+// adjacent to an operator node takes the concrete dims and layout that
+// operator's program declares (the explicit conv's 2-D out2d stands in for
+// the logical 4-D feature map — a flat-order-preserving reshape), all
+// others stay identity. In functional mode, arena-assigned activations
+// share the two ping-pong buffers; everything else gets dedicated storage.
+// Timed-only runs allocate no data at all.
+func allocTensors(g *graph.Graph, resolved map[string]*resolvedOp, plan Plan, functional bool) (map[string]*tensor.Tensor, error) {
+	type spec struct {
+		dims   []int
+		layout []int
+	}
+	specs := map[string]spec{}
+	for _, t := range g.Tensors() {
+		specs[t.Name] = spec{dims: t.Dims}
+	}
+	for _, n := range g.Topo() {
+		r := resolved[n.Name]
+		if r == nil {
+			continue
+		}
+		for _, decl := range r.prog.Tensors {
+			if decl.Scratch {
+				continue
+			}
+			gname, err := graphTensorFor(n, decl.Name)
+			if err != nil {
+				return nil, fmt.Errorf("node %s: %w", n.Name, err)
+			}
+			gt, _ := g.Tensor(gname)
+			if elemCount(decl.Dims) != elemCount(gt.Dims) {
+				return nil, fmt.Errorf("node %s: operand %s has %v elements, graph tensor %s has %v",
+					n.Name, decl.Name, decl.Dims, gname, gt.Dims)
+			}
+			specs[gname] = spec{dims: decl.Dims, layout: decl.Layout}
+		}
+	}
+
+	var arenas [2][]float32
+	if functional {
+		arenas[0] = make([]float32, plan.ArenaElems[0])
+		arenas[1] = make([]float32, plan.ArenaElems[1])
+	}
+	ts := map[string]*tensor.Tensor{}
+	for _, gt := range g.Tensors() {
+		sp := specs[gt.Name]
+		layout := sp.layout
+		if layout == nil {
+			layout = make([]int, len(sp.dims))
+			for i := range layout {
+				layout[i] = i
+			}
+		}
+		slot, inArena := plan.Slot[gt.Name]
+		var t *tensor.Tensor
+		var err error
+		switch {
+		case !functional:
+			t, err = tensor.NewVirtual(gt.Name, sp.dims, layout)
+		case inArena && slot >= 0:
+			t, err = tensor.NewVirtual(gt.Name, sp.dims, layout)
+			if err == nil {
+				t.Data = arenas[slot][:t.Len()]
+			}
+		default:
+			t, err = tensor.NewWithLayout(gt.Name, sp.dims, layout)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tensor %s: %w", gt.Name, err)
+		}
+		ts[gt.Name] = t
+	}
+
+	if functional {
+		fillInputs(g, ts)
+	}
+	return ts, nil
+}
+
+// fillInputs seeds the graph input with activations in [0,1) and every
+// parameter with a deterministic pattern scaled by its fan-in, so
+// activation magnitudes stay bounded through arbitrarily deep networks and
+// per-layer oracle comparisons keep meaningful absolute tolerances.
+func fillInputs(g *graph.Graph, ts map[string]*tensor.Tensor) {
+	in := ts[g.Input]
+	in.FillPattern()
+	for i := range in.Data {
+		in.Data[i] = (in.Data[i] + 4) / 8
+	}
+	for _, n := range g.Topo() {
+		var fanIn int
+		switch n.Kind {
+		case graph.Conv:
+			fanIn = n.Conv.Ni * n.Conv.Kr * n.Conv.Kc
+		case graph.Gemm:
+			fanIn = n.Gemm.K
+		default:
+			continue
+		}
+		w := ts[n.In[1]]
+		w.FillPattern()
+		scale := 1 / (4 * float32(fanIn))
+		for i := range w.Data {
+			w.Data[i] *= scale
+		}
+	}
+}
+
+// verifyNode compares an operator node's output against the reference
+// oracle, reading concrete tensors through the logical flat order so
+// operator-chosen layouts and reshapes fall away.
+func verifyNode(n *graph.Node, ts map[string]*tensor.Tensor) (float64, error) {
+	switch n.Kind {
+	case graph.Conv:
+		s := n.Conv
+		in := ts[n.In[0]] // always the rank-4 pre-padded feature map
+		w4 := tensor.New("wref", s.No, s.Ni, s.Kr, s.Kc)
+		copyFlat(w4, ts[n.In[1]])
+		want, err := tensor.ReferenceConv(in, w4, s)
+		if err != nil {
+			return 0, err
+		}
+		return maxAbsErrFlat(want, ts[n.Out])
+	case graph.Gemm:
+		want, err := tensor.ReferenceGemm(ts[n.In[1]], ts[n.In[0]], 1, 0)
+		if err != nil {
+			return 0, err
+		}
+		return maxAbsErrFlat(want, ts[n.Out])
+	}
+	return 0, nil
+}
+
+func copyFlat(dst, src *tensor.Tensor) {
+	n := dst.Len()
+	for f := 0; f < n; f++ {
+		setFlat(dst, atFlat(src, f), f)
+	}
+}
+
+func maxAbsErrFlat(want, got *tensor.Tensor) (float64, error) {
+	if want.Len() != got.Len() {
+		return 0, fmt.Errorf("oracle has %d elements, result %d", want.Len(), got.Len())
+	}
+	var maxErr float64
+	for f := 0; f < want.Len(); f++ {
+		d := float64(atFlat(want, f)) - float64(atFlat(got, f))
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr, nil
+}
+
+// baselineSeconds measures the manual-library implementation of a node on
+// a fresh machine (swDNN implicit where its batch restriction allows,
+// manual explicit-GEMM otherwise; xMath for the fully-connected layers).
+// Glue stubs cost the same in both runtimes; an operator with no usable
+// baseline conservatively reports the tuned time.
+func baselineSeconds(n *graph.Node, tuned float64, memo map[string]float64) float64 {
+	var key string
+	var progs []func() (*ir.Program, error)
+	switch n.Kind {
+	case graph.Conv:
+		s := n.Conv
+		key = "conv:" + s.String()
+		progs = []func() (*ir.Program, error){
+			func() (*ir.Program, error) { return baseline.SwDNNImplicit(s) },
+			func() (*ir.Program, error) { return baseline.ManualExplicit(s) },
+		}
+	case graph.Gemm:
+		p := n.Gemm
+		key = "gemm:" + p.String()
+		progs = []func() (*ir.Program, error){
+			func() (*ir.Program, error) { return baseline.XMathGemm(p) },
+		}
+	default:
+		return tuned
+	}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	v := tuned
+	for _, mk := range progs {
+		prog, err := mk()
+		if err != nil {
+			continue
+		}
+		if s, err := timeProgram(prog); err == nil {
+			v = s
+			break
+		}
+	}
+	memo[key] = v
+	return v
+}
+
+func timeProgram(prog *ir.Program) (float64, error) {
+	binds, err := exec.BindVirtual(prog)
+	if err != nil {
+		return 0, err
+	}
+	res, err := exec.Run(prog, binds, exec.Options{FastLoops: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}

@@ -1,0 +1,155 @@
+package infer
+
+import (
+	"fmt"
+
+	"swatop/internal/graph"
+	"swatop/internal/sw26010"
+	"swatop/internal/tensor"
+	"swatop/internal/trace"
+)
+
+// The glue layers between tuned operators (ReLU, 2×2 max-pooling, zero-pad
+// re-materialization, flatten) are memory-bound streaming kernels: every
+// CPE pulls a tile of the feature map into SPM, applies a trivial per-
+// element function and puts the result back. Their time model is the
+// longer of the two channels that overlap in such a kernel — the DMA time
+// of the bytes moved at effective bandwidth, and the per-element compute
+// spread over the 64 CPEs.
+func stubSeconds(bytes int64, elems int64, cyclesPerElem float64) float64 {
+	dma := float64(bytes)/sw26010.DMAEffBandwidth + sw26010.DMAStartupSeconds
+	cpu := sw26010.Seconds(cyclesPerElem * float64(elems) / sw26010.NumCPE)
+	if cpu > dma {
+		return cpu
+	}
+	return dma
+}
+
+// atFlat reads element `flat` of the tensor's logical row-major order.
+// Concrete tensors may carry an operator-chosen layout or even a reshaped
+// rank (the explicit conv's 2-D out2d standing in for a 4-D feature map);
+// the logical flat order is the one thing all of them share, so the glue
+// layers index through it.
+func atFlat(t *tensor.Tensor, flat int) float32 {
+	off := 0
+	for d := len(t.Dims) - 1; d >= 0; d-- {
+		off += (flat % t.Dims[d]) * t.Strides[d]
+		flat /= t.Dims[d]
+	}
+	return t.Data[off]
+}
+
+// setFlat writes element `flat` of the tensor's logical row-major order.
+func setFlat(t *tensor.Tensor, v float32, flat int) {
+	off := 0
+	for d := len(t.Dims) - 1; d >= 0; d-- {
+		off += (flat % t.Dims[d]) * t.Strides[d]
+		flat /= t.Dims[d]
+	}
+	t.Data[off] = v
+}
+
+func elemCount(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}
+
+// runStub executes one glue node on the shared machine: it advances the
+// compute clock by the stub's modelled time, records a transform event on
+// the timeline, and (functionally) computes the real data through the
+// logical-flat-order accessors so operator-chosen layouts never matter.
+func runStub(m *sw26010.Machine, g *graph.Graph, n *graph.Node, ts map[string]*tensor.Tensor,
+	functional bool, log *trace.Log) (float64, error) {
+	inDims := graphDims(g, n.In[0])
+	outDims := graphDims(g, n.Out)
+	in, out := ts[n.In[0]], ts[n.Out]
+	inElems, outElems := elemCount(inDims), elemCount(outDims)
+
+	var secs float64
+	switch n.Kind {
+	case graph.ReLU:
+		secs = stubSeconds(int64(8*outElems), int64(outElems), 1)
+		if functional {
+			for f := 0; f < outElems; f++ {
+				v := atFlat(in, f)
+				if v < 0 {
+					v = 0
+				}
+				setFlat(out, v, f)
+			}
+		}
+	case graph.Flatten:
+		// The (C,H,W,B) -> (C·H·W, B) reshape preserves the logical flat
+		// order exactly, so the "kernel" is a straight streaming copy.
+		secs = stubSeconds(int64(8*outElems), int64(outElems), 0.5)
+		if functional {
+			for f := 0; f < outElems; f++ {
+				setFlat(out, atFlat(in, f), f)
+			}
+		}
+	case graph.Pad:
+		secs = stubSeconds(int64(4*(inElems+outElems)), int64(outElems), 1)
+		if functional {
+			c, h, w, b := inDims[0], inDims[1], inDims[2], inDims[3]
+			oh, ow := outDims[1], outDims[2]
+			for f := 0; f < outElems; f++ {
+				setFlat(out, 0, f)
+			}
+			for ci := 0; ci < c; ci++ {
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						for bi := 0; bi < b; bi++ {
+							src := ((ci*h+hi)*w+wi)*b + bi
+							dst := ((ci*oh+hi+n.KR)*ow+(wi+n.KC))*b + bi
+							setFlat(out, atFlat(in, src), dst)
+						}
+					}
+				}
+			}
+		}
+	case graph.MaxPool:
+		// Each output element reads a 2×2 window and writes once.
+		secs = stubSeconds(int64(4*(inElems+outElems)), int64(outElems), 4)
+		if functional {
+			c, h, w, b := outDims[0], outDims[1], outDims[2], outDims[3]
+			ih, iw := inDims[1], inDims[2]
+			for ci := 0; ci < c; ci++ {
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						for bi := 0; bi < b; bi++ {
+							f00 := ((ci*ih+2*hi)*iw+2*wi)*b + bi
+							f01 := ((ci*ih+2*hi)*iw+2*wi+1)*b + bi
+							f10 := ((ci*ih+2*hi+1)*iw+2*wi)*b + bi
+							f11 := ((ci*ih+2*hi+1)*iw+2*wi+1)*b + bi
+							v := atFlat(in, f00)
+							for _, f := range [3]int{f01, f10, f11} {
+								if x := atFlat(in, f); x > v {
+									v = x
+								}
+							}
+							setFlat(out, v, ((ci*h+hi)*w+wi)*b+bi)
+						}
+					}
+				}
+			}
+		}
+	default:
+		return 0, fmt.Errorf("node %s: kind %q is not a glue stub", n.Name, n.Kind)
+	}
+
+	start := m.Now()
+	m.AdvanceCompute(secs)
+	m.Counters.TransformOps++
+	if log != nil {
+		log.Add(trace.KindTransform, string(n.Kind)+" "+n.Name, start, secs)
+	}
+	return m.Now() - start, nil
+}
+
+func graphDims(g *graph.Graph, name string) []int {
+	t, _ := g.Tensor(name)
+	return t.Dims
+}

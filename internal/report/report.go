@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -81,6 +82,27 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as an indented JSON object — the machine-readable
+// twin of String/CSV for dashboards and diffing tools. Cells stay strings:
+// a table is a rendering, not a data model, and mixed units per column make
+// numeric re-parsing the consumer's decision.
+func (t *Table) JSON() (string, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	doc := struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Headers: t.Headers, Rows: rows}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: json: %w", err)
+	}
+	return string(data), nil
 }
 
 // Pct formats a ratio as a signed percentage.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -32,6 +33,38 @@ func TestTableCSV(t *testing.T) {
 	csv := tb.CSV()
 	if csv != "a,b\nx,1\n" {
 		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x", 1.5)
+	out, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v\n%s", err, out)
+	}
+	if doc.Title != "demo" || len(doc.Headers) != 2 || len(doc.Rows) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", doc)
+	}
+	if doc.Rows[0][1] != "1.5" {
+		t.Fatalf("cell = %q, want the same rendering String uses", doc.Rows[0][1])
+	}
+
+	// An empty table must still emit a JSON array for rows, not null.
+	empty, err := NewTable("e", "h").JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty, `"rows": []`) {
+		t.Fatalf("empty rows should serialize as []:\n%s", empty)
 	}
 }
 

@@ -148,6 +148,13 @@ func (m *Machine) FastForward(since Snapshot, times int64) {
 // SPM exposes the SPM allocator.
 func (m *Machine) SPM() *SPMAllocator { return m.spm }
 
+// ResetSPM replaces the SPM allocator with an empty one while leaving the
+// clock, counters and reply words untouched. A network runtime calls it
+// between operators: each generated kernel owns the whole scratch pad for
+// its invocation (the coalesced per-operator region of §4.7), so whatever a
+// kernel left allocated must not constrain its successor.
+func (m *Machine) ResetSPM() { m.spm = NewSPMAllocator() }
+
 // NoteSPMUsage records the current per-CPE SPM footprint into the peak
 // counter.
 func (m *Machine) NoteSPMUsage() {

@@ -43,6 +43,26 @@ func (l *Log) Add(kind Kind, label string, start, dur float64) {
 // Len reports the event count.
 func (l *Log) Len() int { return len(l.Events) }
 
+// Merge appends shifted copies of the given logs' events into l: every
+// event is moved by offset on the time axis, kinds, labels and durations
+// untouched. Concatenating per-layer timelines into one network timeline is
+// a sequence of merges, each layer at its start time on the network clock;
+// a negative offset rebases an absolute timeline to its own origin. Because
+// events are shifted rigidly, intra-layer structure — in particular the
+// DMA/compute overlap double buffering creates — survives the merge.
+func (l *Log) Merge(offset float64, others ...*Log) {
+	for _, o := range others {
+		if o == nil {
+			continue
+		}
+		for _, ev := range o.Events {
+			l.Events = append(l.Events, Event{
+				Kind: ev.Kind, Label: ev.Label, Start: ev.Start + offset, Dur: ev.Dur,
+			})
+		}
+	}
+}
+
 // BusyTime returns the unioned busy time of one kind (overlapping events
 // counted once).
 func (l *Log) BusyTime(kind Kind) float64 {

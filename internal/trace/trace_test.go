@@ -63,6 +63,62 @@ func TestEndAndSummary(t *testing.T) {
 	}
 }
 
+// TestMergeTwoLayerGolden is the golden concatenation case: two per-layer
+// timelines, each recorded from its own time zero with DMA prefetching
+// partially hidden behind compute, merged back-to-back into one network
+// timeline. The merged log must preserve every intra-layer relation — busy
+// times, the DMA/compute overlap, and the layer boundaries.
+func TestMergeTwoLayerGolden(t *testing.T) {
+	// Layer 1: compute [0,3], DMA [1,4] → 2 s of DMA hidden.
+	l1 := &trace.Log{}
+	l1.Add(trace.KindGemm, "conv1", 0, 3)
+	l1.Add(trace.KindDMA, "get in", 1, 3)
+	// Layer 2: compute [0,2], DMA [0.5,1.5] → 1 s of DMA hidden.
+	l2 := &trace.Log{}
+	l2.Add(trace.KindGemm, "conv2", 0, 2)
+	l2.Add(trace.KindDMA, "get in", 0.5, 1)
+
+	net := &trace.Log{}
+	net.Merge(0, l1)
+	net.Merge(l1.End(), l2) // layer 2 starts where layer 1 ended
+	if got := net.Len(); got != 4 {
+		t.Fatalf("merged %d events, want 4", got)
+	}
+	if got, want := net.End(), l1.End()+l2.End(); got != want {
+		t.Fatalf("End = %g, want %g", got, want)
+	}
+	if got, want := net.BusyTime(trace.KindGemm), 5.0; got != want {
+		t.Fatalf("gemm busy = %g, want %g", got, want)
+	}
+	if got, want := net.BusyTime(trace.KindDMA), 4.0; got != want {
+		t.Fatalf("dma busy = %g, want %g", got, want)
+	}
+	// The per-layer overlaps must survive: 2 s (layer 1) + 1 s (layer 2).
+	if got, want := net.Overlap(trace.KindGemm, trace.KindDMA), 3.0; got != want {
+		t.Fatalf("overlap = %g, want %g — merge destroyed the DMA/compute structure", got, want)
+	}
+	// Layer 2's first event must sit exactly at the layer boundary.
+	if got := net.Events[2].Start; got != 4 {
+		t.Fatalf("layer 2 compute starts at %g, want 4", got)
+	}
+
+	// Rebasing with a negative offset inverts the concatenation.
+	back := &trace.Log{}
+	back.Merge(-l1.End(), &trace.Log{Events: net.Events[2:]})
+	if got := back.Overlap(trace.KindGemm, trace.KindDMA); got != 1 {
+		t.Fatalf("rebased overlap = %g, want 1", got)
+	}
+	if back.Events[0].Start != 0 {
+		t.Fatalf("rebased start = %g, want 0", back.Events[0].Start)
+	}
+
+	// Merging a nil log is a no-op, not a panic.
+	net.Merge(0, nil)
+	if net.Len() != 4 {
+		t.Fatal("nil merge changed the log")
+	}
+}
+
 // TestTraceOfRealRun: a double-buffered GEMM should show substantial DMA
 // time hidden behind compute.
 func TestTraceOfRealRun(t *testing.T) {

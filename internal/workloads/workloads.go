@@ -29,6 +29,35 @@ func (l ConvLayer) Shape(batch int) tensor.ConvShape {
 
 func (l ConvLayer) String() string { return fmt.Sprintf("%s/%s", l.Net, l.Name) }
 
+// FCLayer is one named fully-connected layer of a network. A
+// fully-connected layer is a GEMM: output[Out×batch] =
+// weight[Out×In] × input[In×batch], so the batch size becomes the GEMM N
+// dimension exactly as swCaffe lowers fc layers onto xMath.
+type FCLayer struct {
+	Net  string
+	Name string
+	In   int // input features (GEMM K)
+	Out  int // output features (GEMM M)
+}
+
+// Params instantiates the layer for a batch size.
+func (l FCLayer) Params(batch int) gemm.Params {
+	return gemm.Params{M: l.Out, N: batch, K: l.In}
+}
+
+func (l FCLayer) String() string { return fmt.Sprintf("%s/%s", l.Net, l.Name) }
+
+// VGG16FC returns the three fully-connected layers of VGG16: fc6 takes the
+// flattened 512×7×7 feature map left by the fifth pooling stage; fc8
+// produces the 1000 ImageNet logits.
+func VGG16FC() []FCLayer {
+	return []FCLayer{
+		{"vgg16", "fc6", 512 * 7 * 7, 4096},
+		{"vgg16", "fc7", 4096, 4096},
+		{"vgg16", "fc8", 4096, 1000},
+	}
+}
+
 // VGG16 returns the 13 convolution layers of VGG16 (Simonyan & Zisserman).
 func VGG16() []ConvLayer {
 	return []ConvLayer{

@@ -38,6 +38,48 @@ func TestFirstLayersExcludedFromImplicit(t *testing.T) {
 	}
 }
 
+// TestVGG16FCShapes pins the fully-connected tail of VGG16: fc6 consumes
+// the flattened 512-channel 7×7 feature map the fifth pooling stage leaves,
+// and the three layers chain feature-count-consistently down to the 1000
+// ImageNet logits.
+func TestVGG16FCShapes(t *testing.T) {
+	fcs := VGG16FC()
+	if len(fcs) != 3 {
+		t.Fatalf("VGG16 has %d fc layers, want 3", len(fcs))
+	}
+	convs := VGG16()
+	last := convs[len(convs)-1]
+	// conv5_3 emits No channels at R×R; pool5 halves R; fc6 flattens that.
+	if want := last.No * (last.R / 2) * (last.R / 2); fcs[0].In != want {
+		t.Fatalf("fc6.In = %d, want %d (No*R/2*R/2 after pool5)", fcs[0].In, want)
+	}
+	for i, fc := range fcs {
+		if fc.Net != "vgg16" {
+			t.Errorf("%s tagged %q", fc.Name, fc.Net)
+		}
+		if fc.In <= 0 || fc.Out <= 0 {
+			t.Errorf("%s has non-positive features: %+v", fc.Name, fc)
+		}
+		if i > 0 && fc.In != fcs[i-1].Out {
+			t.Errorf("%s.In = %d does not chain from %s.Out = %d",
+				fc.Name, fc.In, fcs[i-1].Name, fcs[i-1].Out)
+		}
+		for _, batch := range Batches() {
+			p := fc.Params(batch)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s batch %d: %v", fc.Name, batch, err)
+			}
+			if p.M != fc.Out || p.K != fc.In || p.N != batch {
+				t.Errorf("%s batch %d: params %v do not encode Out×batch = W[Out×In]×x[In×batch]",
+					fc.Name, batch, p)
+			}
+		}
+	}
+	if fcs[2].Out != 1000 {
+		t.Fatalf("fc8.Out = %d, want the 1000 ImageNet logits", fcs[2].Out)
+	}
+}
+
 func TestListing1Counts(t *testing.T) {
 	for _, b := range Batches() {
 		shapes := Listing1(b)
