@@ -18,6 +18,10 @@ import (
 	"swatop"
 )
 
+// metricsReg is the registry every tuning run records into; -metrics
+// decides whether (and where) it is reported.
+var metricsReg = swatop.NewMetricsRegistry()
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -34,8 +38,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  swatop gemm -m M -n N -k K [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir]
-  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir]`)
+  swatop gemm -m M -n N -k K [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json]
+  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json]`)
 	os.Exit(2)
 }
 
@@ -48,6 +52,7 @@ func gemmCmd(args []string) {
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
+	metricsOut, traceOut := observabilityFlags(fs)
 	fallback, retries, deadline := resilienceFlags(fs)
 	_ = fs.Parse(args)
 
@@ -67,6 +72,8 @@ func gemmCmd(args []string) {
 		fmt.Println("\n--- execution timeline ---")
 		fmt.Print(tr)
 	}
+	writeChromeTrace(tuned, *traceOut)
+	writeMetrics(*metricsOut)
 }
 
 func convCmd(args []string) {
@@ -81,6 +88,7 @@ func convCmd(args []string) {
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
+	metricsOut, traceOut := observabilityFlags(fs)
 	fallback, retries, deadline := resilienceFlags(fs)
 	_ = fs.Parse(args)
 
@@ -104,9 +112,57 @@ func convCmd(args []string) {
 		fmt.Println("\n--- execution timeline ---")
 		fmt.Print(tr)
 	}
+	writeChromeTrace(tuned, *traceOut)
+	writeMetrics(*metricsOut)
 }
 
 var progressShown bool
+
+// observabilityFlags registers the metrics/trace export flags shared by
+// both subcommands.
+func observabilityFlags(fs *flag.FlagSet) (metricsOut, traceOut *string) {
+	metricsOut = fs.String("metrics", "",
+		"write tuning metrics: '-' prints a table to stdout, anything else is a JSON file")
+	traceOut = fs.String("trace-out", "",
+		"write the tuned schedule's execution timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
+	return
+}
+
+// writeChromeTrace exports the tuned program's timeline for Perfetto.
+func writeChromeTrace(tuned *swatop.Tuned, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	check(err)
+	err = tuned.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	check(err)
+	fmt.Printf("chrome trace   : %s\n", path)
+}
+
+// writeMetrics reports the tuning-run metrics registry.
+func writeMetrics(out string) {
+	if out == "" {
+		return
+	}
+	snap := metricsReg.Snapshot()
+	if out == "-" {
+		fmt.Println("\n--- metrics ---")
+		fmt.Print(snap.Table())
+		return
+	}
+	f, err := os.Create(out)
+	check(err)
+	err = snap.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	check(err)
+	fmt.Printf("metrics        : %s\n", out)
+}
 
 // resilienceFlags registers the failure-policy flags shared by both
 // subcommands.
@@ -137,9 +193,14 @@ func mustTuner(workers int, fallback bool, retries int) *swatop.Tuner {
 	if retries > 1 {
 		t.SetRetry(retries, 0, 0) // library defaults for base/max delay
 	}
-	t.SetProgress(func(done, valid int) {
+	t.SetMetrics(metricsReg)
+	t.SetProgressBest(func(done, valid int, best float64) {
 		progressShown = true
-		fmt.Fprintf(os.Stderr, "\rtuning: %d candidates (%d valid)", done, valid)
+		if best > 0 {
+			fmt.Fprintf(os.Stderr, "\rtuning: %d candidates (%d valid, best %.4g ms)", done, valid, best*1e3)
+		} else {
+			fmt.Fprintf(os.Stderr, "\rtuning: %d candidates (%d valid)", done, valid)
+		}
 	})
 	return t
 }

@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	swbench [-full] [-csv] [-json] [-workers N] [experiment ...]
+//	swbench [-full] [-csv] [-json] [-workers N] [-metrics -|file]
+//	        [-trace-out trace.json] [experiment ...]
 //
 // Experiments: substrate fig5 fig6 fig7 table1 fig8 table2 table3 fig9
 // fig10 fig11 (default: all). -full runs the complete parameter grids
 // instead of the quick stratified subsets. -workers tunes sweep entries
 // in parallel; every reported number is identical for any worker count.
+// -metrics reports the session's cumulative tuning metrics; -trace-out
+// writes a host-side timeline (one span per experiment, wall time) in
+// Chrome trace-event JSON.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 
 	"swatop/internal/autotune"
 	"swatop/internal/experiments"
+	"swatop/internal/metrics"
+	"swatop/internal/trace"
 )
 
 func main() {
@@ -30,6 +36,10 @@ func main() {
 		"concurrent tuning workers (results are worker-count independent)")
 	retries := flag.Int("retries", 1,
 		"total attempts per candidate measurement for transient errors (reported numbers are retry-independent)")
+	metricsOut := flag.String("metrics", "",
+		"write cumulative tuning metrics: '-' prints a table (to stderr under -json/-csv), anything else is a JSON file")
+	traceOut := flag.String("trace-out", "",
+		"write a host-side experiment timeline (wall time) as Chrome trace-event JSON")
 	flag.Parse()
 
 	runner, err := experiments.NewRunner()
@@ -42,11 +52,19 @@ func main() {
 	if *retries > 1 {
 		runner.Retry = autotune.Retry{Attempts: *retries}
 	}
+	reg := metrics.NewRegistry()
+	runner.Metrics = reg
 	progress := false
 	runner.Progress = func(done, total int) {
 		progress = true
-		fmt.Fprintf(os.Stderr, "\r%d/%d tuned", done, total)
+		// The candidate count comes from the live registry: cumulative over
+		// the whole session, not just the current sweep entry.
+		cands := reg.Counter("autotune_candidates_total").Value()
+		fmt.Fprintf(os.Stderr, "\r%d/%d tuned (%d candidates searched)", done, total, cands)
 	}
+
+	hostLog := &trace.Log{}
+	sessionStart := time.Now()
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -70,6 +88,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "swbench %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		hostLog.Add(trace.Kind("experiment"), e.ID,
+			start.Sub(sessionStart).Seconds(), time.Since(start).Seconds())
+		reg.Counter("swbench_experiments_total").Inc()
 		switch {
 		case *jsonOut:
 			doc, err := table.JSON()
@@ -90,4 +111,58 @@ func main() {
 		}
 		fmt.Fprintf(out, "(%s finished in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *traceOut != "" {
+		if err := writeChromeTrace(hostLog, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(reg.Snapshot(), *metricsOut, *jsonOut || *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeChromeTrace(log *trace.Log, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = log.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "chrome trace: %s\n", path)
+	return nil
+}
+
+func writeMetrics(snap metrics.Snapshot, out string, machineStdout bool) error {
+	if out == "-" {
+		w := os.Stdout
+		if machineStdout {
+			w = os.Stderr // keep stdout machine-parseable
+		}
+		fmt.Fprintln(w, "--- metrics ---")
+		fmt.Fprint(w, snap.Table())
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	err = snap.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write metrics %s: %w", out, err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
+	return nil
 }

@@ -9,6 +9,7 @@
 //
 //	swinfer [-net vgg16] [-batch 1,32,128] [-workers N] [-json]
 //	        [-lib schedules.json] [-fallback] [-verify] [-timeline]
+//	        [-metrics -|file] [-trace-out trace.json]
 //
 // The reported machine seconds are deterministic: identical for every
 // -workers value and identical between cached and freshly-tuned runs.
@@ -38,6 +39,10 @@ func main() {
 	verify := flag.Bool("verify", false, "functional execution: check every tuned layer against the reference oracle (slow)")
 	timeline := flag.Bool("timeline", false, "print the merged network timeline per batch size")
 	retries := flag.Int("retries", 1, "total attempts per candidate measurement for transient errors")
+	metricsOut := flag.String("metrics", "",
+		"write run metrics: '-' prints a table (to stderr under -json, so stdout stays parseable), anything else is a JSON file")
+	traceOut := flag.String("trace-out", "",
+		"write the network timeline as Chrome trace-event JSON (opens in ui.perfetto.dev); with several batch sizes each gets a -b<N> suffix")
 	flag.Parse()
 
 	sizes, err := parseBatches(*batches)
@@ -73,6 +78,10 @@ func main() {
 	eng.SetProgress(func(node string, done, total int) {
 		fmt.Fprintf(os.Stderr, "\r%s: %d/%d layers scheduled (%s)   ", *net, done, total, node)
 	})
+	reg := swatop.NewMetricsRegistry()
+	if *metricsOut != "" {
+		eng.SetMetrics(reg)
+	}
 
 	var reports []*swatop.NetReport
 	for _, b := range sizes {
@@ -82,13 +91,21 @@ func main() {
 			fail(err)
 		}
 		reports = append(reports, rep)
+		if *traceOut != "" {
+			path := *traceOut
+			if len(sizes) > 1 {
+				path = batchSuffixed(path, b)
+			}
+			if err := writeChromeTrace(rep, path); err != nil {
+				fail(err)
+			}
+		}
 	}
 	if lib != nil {
 		if err := lib.Save(*libPath); err != nil {
 			fail(fmt.Errorf("save %s: %w", *libPath, err))
 		}
 	}
-
 	if *jsonOut {
 		data, err := json.MarshalIndent(reports, "", "  ")
 		if err != nil {
@@ -105,6 +122,11 @@ func main() {
 	if *timeline {
 		for _, rep := range reports {
 			fmt.Printf("--- %s batch %d timeline ---\n%s\n", rep.Net, rep.Batch, rep.Timeline())
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(reg.Snapshot(), *metricsOut, *jsonOut); err != nil {
+			fail(err)
 		}
 	}
 }
@@ -150,6 +172,57 @@ func summaryLine(rep *swatop.NetReport) string {
 			rep.TunedLayers, rep.CachedLayers, rep.DegradedLayers)
 	}
 	return s
+}
+
+// batchSuffixed inserts "-b<batch>" before the extension, so
+// trace.json with batches 1,32 yields trace-b1.json and trace-b32.json.
+func batchSuffixed(path string, batch int) string {
+	ext := ""
+	if i := strings.LastIndex(path, "."); i > strings.LastIndex(path, "/") {
+		path, ext = path[:i], path[i:]
+	}
+	return fmt.Sprintf("%s-b%d%s", path, batch, ext)
+}
+
+func writeChromeTrace(rep *swatop.NetReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rep.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "chrome trace: %s\n", path)
+	return nil
+}
+
+func writeMetrics(snap swatop.MetricsSnapshot, out string, jsonMode bool) error {
+	if out == "-" {
+		w := os.Stdout
+		if jsonMode {
+			w = os.Stderr // keep stdout machine-parseable
+		}
+		fmt.Fprintln(w, "--- metrics ---")
+		fmt.Fprint(w, snap.Table())
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	err = snap.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write metrics %s: %w", out, err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
+	return nil
 }
 
 func parseBatches(s string) ([]int, error) {

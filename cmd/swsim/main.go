@@ -2,33 +2,70 @@
 // SW26010 core group and compares them with the published measurements the
 // simulator is calibrated against (Xu, Lin, Matsuoka, IPDPSW'17 — the
 // paper's reference [24]).
+//
+// Usage:
+//
+//	swsim [-metrics -|file] [-trace-out trace.json]
+//
+// -metrics publishes every characterization number as a gauge; -trace-out
+// writes the microbenchmarks as one synthetic machine timeline in Chrome
+// trace-event JSON (each benchmark is a span of its simulated duration).
+// Both outputs are fully deterministic: the substrate model is analytic.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
+	"swatop/internal/metrics"
 	"swatop/internal/primitives"
 	"swatop/internal/sw26010"
+	"swatop/internal/trace"
 )
 
 func main() {
+	metricsOut := flag.String("metrics", "",
+		"write characterization gauges: '-' prints a table to stdout, anything else is a JSON file")
+	traceOut := flag.String("trace-out", "",
+		"write the microbenchmark timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	log := &trace.Log{}
+	cursor := 0.0 // synthetic timeline position: benchmarks run back to back
+	span := func(kind trace.Kind, label string, seconds float64) {
+		log.Add(kind, label, cursor, seconds)
+		cursor += seconds
+	}
+
 	fmt.Println("SW26010 core-group simulator — substrate characterization")
 	fmt.Printf("clock %.2f GHz · %d CPEs · %d KB SPM/CPE · peak %.0f GFLOPS/CG (%.2f TFLOPS chip)\n\n",
 		sw26010.ClockHz/1e9, sw26010.NumCPE, sw26010.SPMBytes/1024,
 		sw26010.PeakGFlops, sw26010.PeakGFlops*sw26010.NumCG/1e3)
+	reg.Gauge("swsim_peak_gflops_per_cg").Set(sw26010.PeakGFlops)
+	reg.Gauge("swsim_spm_bytes_per_cpe").Set(sw26010.SPMBytes)
 
 	triad := sw26010.StreamTriadDMA(8192)
 	fmt.Printf("%-28s %8.2f GB/s   (published: 22.6 GB/s)\n", "DMA stream triad", triad.GBperSecond)
+	reg.Gauge("swsim_dma_triad_gbps").Set(triad.GBperSecond)
+	span(trace.KindDMA, "stream triad", triad.Seconds)
 	gl := sw26010.StreamGLDGST(1 << 26)
 	fmt.Printf("%-28s %8.2f GB/s   (published: 1.48 GB/s)\n", "gld/gst", gl.GBperSecond)
+	reg.Gauge("swsim_gld_gst_gbps").Set(gl.GBperSecond)
+	span(trace.KindDMA, "gld/gst", gl.Seconds)
 	rc := sw26010.RegCommBroadcast(1 << 16)
 	fmt.Printf("%-28s %8.2f GB/s   (published: 647.25 GB/s)\n\n", "register communication", rc.GBperSecond)
+	reg.Gauge("swsim_reg_comm_gbps").Set(rc.GBperSecond)
+	span(trace.KindTransform, "register broadcast", rc.Seconds)
 
 	fmt.Println("strided DMA efficiency (the curve layout transformation optimizes against):")
 	for _, block := range []int{64, 128, 256, 512, 1024, 4096, 16384} {
 		r := sw26010.DMAStridedEfficiency(block, 1<<20/block)
 		fmt.Printf("  block %6d B: %6.2f GB/s (%.0f%% of stream)\n",
 			block, r.GBperSecond, r.GBperSecond/triad.GBperSecond*100)
+		reg.Gauge(fmt.Sprintf("swsim_dma_strided_%db_gbps", block)).Set(r.GBperSecond)
+		span(trace.KindDMA, fmt.Sprintf("strided %d B", block), r.Seconds)
 	}
 
 	fmt.Println("\nspm_gemm micro-kernel roofline (column-major, vecM):")
@@ -41,5 +78,60 @@ func main() {
 		gf := float64(spec.FLOPs()) / t / 1e9
 		fmt.Printf("  %4d³: %8.2f µs  %7.1f GFLOPS (%.0f%% of CG peak)\n",
 			sz, t*1e6, gf, gf/sw26010.PeakGFlops*100)
+		reg.Gauge(fmt.Sprintf("swsim_gemm_%d_gflops", sz)).Set(gf)
+		span(trace.KindGemm, fmt.Sprintf("%dx%dx%d", sz, sz, sz), t)
 	}
+
+	if *traceOut != "" {
+		if err := writeChromeTrace(log, *traceOut); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(reg.Snapshot(), *metricsOut); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func writeChromeTrace(log *trace.Log, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = log.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "chrome trace: %s\n", path)
+	return nil
+}
+
+func writeMetrics(snap metrics.Snapshot, out string) error {
+	if out == "-" {
+		fmt.Println("\n--- metrics ---")
+		fmt.Print(snap.Table())
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	err = snap.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write metrics %s: %w", out, err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "swsim:", err)
+	os.Exit(1)
 }

@@ -2,11 +2,13 @@ package swatop
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"swatop/internal/autotune"
 	"swatop/internal/graph"
 	"swatop/internal/infer"
+	"swatop/internal/sw26010"
 	"swatop/internal/trace"
 )
 
@@ -27,6 +29,7 @@ type Engine struct {
 	verify      bool
 	tolerance   float64
 	progress    func(node string, done, total int)
+	metrics     *MetricsRegistry
 }
 
 // NewEngine fits the cost model (the per-machine offline calibration) and
@@ -78,6 +81,15 @@ func (e *Engine) SetVerify(tolerance float64) {
 // SetProgress installs a per-layer schedule-resolution callback.
 func (e *Engine) SetProgress(fn func(node string, done, total int)) { e.progress = fn }
 
+// SetMetrics attaches a metrics registry: every run records machine
+// counters (DMA traffic, transactions, alignment waste, SPM peak, the
+// compute/stall clock split), per-layer schedule-resolution outcomes and
+// tuning activity into it, and each NetReport carries a snapshot. Passing
+// nil detaches. During a fully cached replay every recorded value is a
+// simulated-machine quantity, so snapshots are bit-identical across worker
+// counts.
+func (e *Engine) SetMetrics(reg *MetricsRegistry) { e.metrics = reg }
+
 // LayerReport is one executed layer of a network run.
 type LayerReport struct {
 	Name            string  `json:"name"`
@@ -111,17 +123,40 @@ type NetReport struct {
 	// dedicating every feature map.
 	PeakActivationBytes  int64 `json:"peak_activation_bytes"`
 	NaiveActivationBytes int64 `json:"naive_activation_bytes"`
+	// Metrics is the snapshot of the engine's metrics registry taken right
+	// after the run (empty when no registry was attached via SetMetrics).
+	Metrics MetricsSnapshot `json:"metrics,omitempty"`
 
 	timeline *trace.Log
+	flops    int64
+	dmaBytes int64
 }
 
-// Timeline renders the merged network timeline: busy-time summary plus a
-// coarse Gantt chart over all layers.
+// Timeline renders the merged network timeline: busy-time summary, a
+// coarse Gantt chart over all layers, and the network roofline (achieved
+// GFLOPS vs the core group's peak, achieved DMA bandwidth vs the paper's
+// 22.6 GB/s stream bandwidth).
 func (r *NetReport) Timeline() string {
 	if r.timeline == nil {
 		return ""
 	}
-	return r.timeline.Summary() + r.timeline.Gantt(72)
+	roof := r.timeline.Roofline(r.flops, r.dmaBytes,
+		sw26010.PeakGFlops, sw26010.DMAEffBandwidth)
+	return r.timeline.Summary() + r.timeline.Gantt(72) + roof.String()
+}
+
+// TraceLog exposes the merged network timeline (nil when unavailable):
+// every event carries its operator name, layer index and selected strategy
+// as span metadata.
+func (r *NetReport) TraceLog() *trace.Log { return r.timeline }
+
+// WriteChromeTrace writes the merged network timeline in the Chrome
+// trace-event JSON format; the output opens directly in ui.perfetto.dev.
+func (r *NetReport) WriteChromeTrace(w io.Writer) error {
+	if r.timeline == nil {
+		return (&trace.Log{}).WriteChromeTrace(w)
+	}
+	return r.timeline.WriteChromeTrace(w)
 }
 
 // Infer runs a network ("vgg16", "resnet", "yolo") at one batch size.
@@ -146,6 +181,7 @@ func (e *Engine) InferCtx(ctx context.Context, net string, batch int) (*NetRepor
 		Functional:           e.verify,
 		Tolerance:            e.tolerance,
 		Progress:             e.progress,
+		Metrics:              e.metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -164,7 +200,10 @@ func (e *Engine) InferCtx(ctx context.Context, net string, batch int) (*NetRepor
 		PeakActivationBytes:  res.Plan.PeakActivationBytes() + res.Plan.IOBytes,
 		NaiveActivationBytes: res.Plan.NaiveBytes + res.Plan.IOBytes,
 		timeline:             res.Timeline,
+		flops:                res.FLOPs,
+		dmaBytes:             res.Counters.DMABytesTouched,
 	}
+	rep.Metrics = e.metrics.Snapshot()
 	for _, l := range res.Layers {
 		rep.Layers = append(rep.Layers, LayerReport{
 			Name:            l.Name,

@@ -1,11 +1,15 @@
 package swatop
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"testing"
+
+	"swatop/internal/trace"
 )
 
 // TestEngineVGG16EndToEnd is the acceptance test of the network runtime:
@@ -52,8 +56,11 @@ func TestEngineVGG16EndToEnd(t *testing.T) {
 	}
 
 	// Cached replay with a different worker count: same machine seconds,
-	// every operator resolved from the library.
+	// every operator resolved from the library. A fresh metrics registry
+	// observes the replay.
 	e.SetWorkers(1)
+	reg1 := NewMetricsRegistry()
+	e.SetMetrics(reg1)
 	cached, err := e.Infer("vgg16", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +71,23 @@ func TestEngineVGG16EndToEnd(t *testing.T) {
 	if cached.Seconds != rep.Seconds {
 		t.Fatalf("cached run %g s differs from fresh run %g s", cached.Seconds, rep.Seconds)
 	}
+	checkReplayMetrics(t, cached)
+
+	// The replay metrics are pure simulated-machine quantities, so a second
+	// cached replay at another worker count must produce a bit-identical
+	// snapshot — the observability layer inherits the engine's determinism
+	// guarantee.
+	e.SetWorkers(3)
+	reg2 := NewMetricsRegistry()
+	e.SetMetrics(reg2)
+	cached2, err := e.Infer("vgg16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapshotJSON(t, cached2.Metrics), snapshotJSON(t, cached.Metrics); got != want {
+		t.Fatalf("cached-replay metrics differ across worker counts:\n--- workers=1 ---\n%s\n--- workers=3 ---\n%s", want, got)
+	}
+	e.SetMetrics(nil)
 
 	// A fresh library at yet another worker count must land on the same
 	// total (schedule selection is worker-independent).
@@ -92,6 +116,69 @@ func TestEngineVGG16EndToEnd(t *testing.T) {
 	if back.Net != "vgg16" || back.Batch != 1 || len(back.Layers) != len(rep.Layers) {
 		t.Fatalf("JSON round trip lost data: %+v", back)
 	}
+}
+
+// checkReplayMetrics verifies the cached replay's snapshot against the
+// run's own report and timeline: all 13 convolutions came from the cache,
+// real DMA traffic was recorded, and the DMA-hidden ratio agrees with the
+// timeline the report carries.
+func checkReplayMetrics(t *testing.T, rep *NetReport) {
+	t.Helper()
+	snap := rep.Metrics
+	if got := snap.Counters["infer_conv_cached_total"]; got != 13 {
+		t.Fatalf("infer_conv_cached_total = %d, want 13", got)
+	}
+	if got := snap.Gauges["machine_dma_bytes_touched_total"]; !(got > 0) {
+		t.Fatalf("machine_dma_bytes_touched_total = %g, want > 0", got)
+	}
+	log := rep.TraceLog()
+	if log == nil {
+		t.Fatal("cached replay has no timeline")
+	}
+	dma := log.BusyTime(trace.KindDMA)
+	if !(dma > 0) {
+		t.Fatalf("timeline DMA busy time = %g, want > 0", dma)
+	}
+	want := log.Overlap(trace.KindGemm, trace.KindDMA) / dma
+	got := snap.Gauges["infer_dma_hidden_ratio"]
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("infer_dma_hidden_ratio = %.17g, timeline says %.17g", got, want)
+	}
+
+	// The Perfetto export of the same timeline must be valid, non-empty
+	// Chrome trace-event JSON.
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatalf("chrome trace has no duration events (%d events total)", len(doc.TraceEvents))
+	}
+}
+
+// snapshotJSON renders a snapshot for byte-level comparison.
+func snapshotJSON(t *testing.T, s MetricsSnapshot) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
 }
 
 func TestEngineUnknownNetAndCancellation(t *testing.T) {

@@ -33,6 +33,7 @@ import (
 	"swatop/internal/exec"
 	"swatop/internal/faults"
 	"swatop/internal/ir"
+	"swatop/internal/metrics"
 	"swatop/internal/schedule"
 )
 
@@ -102,9 +103,11 @@ type Options struct {
 	// actually runs (default: the package TopK constant).
 	TopK int
 	// Progress, when non-nil, is called after each candidate is processed
-	// with the number of processed and valid candidates so far. It is
-	// always invoked from a single goroutine.
-	Progress func(done, valid int)
+	// with the number of processed and valid candidates so far and the best
+	// score seen so far: the lowest predicted seconds for the model-based
+	// tuner, the lowest measured seconds for the black-box tuner, 0 while no
+	// valid candidate exists. It is always invoked from a single goroutine.
+	Progress func(done, valid int, best float64)
 	// Faults, when non-nil, is threaded into every measurement (exec.Run
 	// and the simulated machine) so fault-injection tests can exercise the
 	// recovery paths below. Nil in production.
@@ -118,6 +121,14 @@ type Options struct {
 	// circuit breaker against a systematically broken environment.
 	// 0 means unlimited: failures are recorded and skipped forever.
 	MaxCandidateFailures int
+	// Metrics, when non-nil, receives tuning instrumentation: candidate
+	// counts (autotune_candidates_total / _valid_total / _failed_total),
+	// retry activity (autotune_retries_total, autotune_backoff_seconds),
+	// the best-score trajectory (autotune_best_predicted_seconds,
+	// autotune_best_measured_seconds), per-stage wall clocks and the
+	// simulated-machine-time ledger. It is also threaded into every
+	// measurement's exec.Options.
+	Metrics *metrics.Registry
 }
 
 func (o Options) topK() int {
@@ -230,12 +241,17 @@ func evalCandidate(op Operator, idx int, st dsl.Strategy,
 		case err == nil:
 			return c, nil // c may be nil: invalid point
 		case panicked:
+			opts.Metrics.Counter("autotune_candidates_failed_total").Inc()
 			return nil, &CandidateError{Index: idx, Strategy: st, Panicked: true, Err: err}
 		case faults.IsTransient(err):
 			if attempt < opts.Retry.attempts() {
-				time.Sleep(opts.Retry.delay(attempt, idx))
+				d := opts.Retry.delay(attempt, idx)
+				opts.Metrics.Counter("autotune_retries_total").Inc()
+				opts.Metrics.Gauge("autotune_backoff_seconds").Add(d.Seconds())
+				time.Sleep(d)
 				continue
 			}
+			opts.Metrics.Counter("autotune_candidates_failed_total").Inc()
 			return nil, &CandidateError{Index: idx, Strategy: st, Err: err}
 		default:
 			return nil, err
@@ -262,12 +278,19 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 	done, valid := 0, 0
 	sink := func(idx int, c *Candidate) {
 		done++
+		opts.Metrics.Counter("autotune_candidates_total").Inc()
 		if c != nil {
 			valid++
+			opts.Metrics.Counter("autotune_candidates_valid_total").Inc()
 			top = insertRanked(top, ranked{c: c, idx: idx}, k)
+			opts.Metrics.Gauge("autotune_best_predicted_seconds").Set(top[0].c.Predicted)
 		}
 		if opts.Progress != nil {
-			opts.Progress(done, valid)
+			best := 0.0
+			if len(top) > 0 {
+				best = top[0].c.Predicted
+			}
+			opts.Progress(done, valid, best)
 		}
 	}
 	eval := func(c *Candidate) error {
@@ -279,6 +302,8 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 		return nil
 	}
 	spaceSize, failed, err := runPool(ctx, op, opts, eval, sink)
+	searchWall := time.Since(t0).Seconds()
+	opts.Metrics.Gauge("autotune_search_wall_seconds").Add(searchWall)
 	if err != nil {
 		return Result{}, err
 	}
@@ -287,6 +312,7 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 		return Result{}, fmt.Errorf("autotune %s: no valid schedule in space of %d (%d candidates failed)",
 			op.Name(), spaceSize, failed)
 	}
+	tFinal := time.Now()
 	// The k finalists are emitted into one binary and measured in a single
 	// batch job: one compile+launch, k short runs. Each run goes through
 	// the same panic-isolation + retry policy as the search: a finalist
@@ -294,7 +320,7 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 	// is an error.
 	res.MachineSeconds = CompileLaunchOverheadSeconds
 	runEval := func(c *Candidate) error {
-		secs, err := runTimed(c.Program, opts.Faults)
+		secs, err := runTimed(c.Program, opts.Faults, opts.Metrics)
 		if err != nil {
 			return err
 		}
@@ -329,6 +355,9 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 	}
 	res.Best = *best
 	res.WallSeconds = time.Since(t0).Seconds()
+	opts.Metrics.Gauge("autotune_finalist_wall_seconds").Add(time.Since(tFinal).Seconds())
+	opts.Metrics.Gauge("autotune_best_measured_seconds").Set(best.Measured)
+	opts.Metrics.Gauge("autotune_machine_seconds").Add(res.MachineSeconds)
 	return res, nil
 }
 
@@ -352,19 +381,26 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 	done := 0
 	sink := func(idx int, c *Candidate) {
 		done++
+		opts.Metrics.Counter("autotune_candidates_total").Inc()
 		if c != nil {
 			runs = append(runs, run{idx: idx, secs: c.Measured})
+			opts.Metrics.Counter("autotune_candidates_valid_total").Inc()
 			if best.c == nil || c.Measured < best.c.Measured ||
 				(c.Measured == best.c.Measured && idx < best.idx) {
 				best = ranked{c: c, idx: idx}
 			}
+			opts.Metrics.Gauge("autotune_best_measured_seconds").Set(best.c.Measured)
 		}
 		if opts.Progress != nil {
-			opts.Progress(done, len(runs))
+			b := 0.0
+			if best.c != nil {
+				b = best.c.Measured
+			}
+			opts.Progress(done, len(runs), b)
 		}
 	}
 	eval := func(c *Candidate) error {
-		secs, err := runTimed(c.Program, opts.Faults)
+		secs, err := runTimed(c.Program, opts.Faults, opts.Metrics)
 		if err != nil {
 			// %w keeps the transient mark visible to the retry policy.
 			return fmt.Errorf("%s: %w", c.Strategy, err)
@@ -388,6 +424,8 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 	}
 	res.Best = *best.c
 	res.WallSeconds = time.Since(t0).Seconds()
+	opts.Metrics.Gauge("autotune_search_wall_seconds").Add(res.WallSeconds)
+	opts.Metrics.Gauge("autotune_machine_seconds").Add(res.MachineSeconds)
 	return res, nil
 }
 
@@ -580,12 +618,12 @@ func runSequential(ctx context.Context, op Operator, opts Options,
 	return total, failed, nil
 }
 
-func runTimed(prog *ir.Program, inj *faults.Injector) (float64, error) {
+func runTimed(prog *ir.Program, inj *faults.Injector, reg *metrics.Registry) (float64, error) {
 	binds, err := exec.BindVirtual(prog)
 	if err != nil {
 		return 0, err
 	}
-	r, err := exec.Run(prog, binds, exec.Options{Functional: false, FastLoops: true, Faults: inj})
+	r, err := exec.Run(prog, binds, exec.Options{Functional: false, FastLoops: true, Faults: inj, Metrics: reg})
 	if err != nil {
 		return 0, err
 	}

@@ -109,11 +109,16 @@ func TestProgressReportsEveryCandidate(t *testing.T) {
 	op := smallOp(t, gemm.Params{M: 128, N: 128, K: 128})
 	var dones []int
 	lastValid := 0
+	lastBest := 0.0
 	res, err := ModelBasedCtx(context.Background(), op, model(t), Options{
 		Workers: 4,
-		Progress: func(done, valid int) {
+		Progress: func(done, valid int, best float64) {
 			dones = append(dones, done)
 			lastValid = valid
+			if best > 0 && lastBest > 0 && best > lastBest {
+				t.Errorf("best score went up: %g after %g", best, lastBest)
+			}
+			lastBest = best
 		},
 	})
 	if err != nil {
@@ -129,6 +134,9 @@ func TestProgressReportsEveryCandidate(t *testing.T) {
 	}
 	if lastValid != res.Valid {
 		t.Fatalf("final valid count %d, result says %d", lastValid, res.Valid)
+	}
+	if lastBest != res.Best.Predicted {
+		t.Fatalf("final best %g, result predicted %g", lastBest, res.Best.Predicted)
 	}
 }
 

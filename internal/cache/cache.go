@@ -20,6 +20,7 @@ import (
 	"swatop/internal/dsl"
 	"swatop/internal/faults"
 	"swatop/internal/ir"
+	"swatop/internal/metrics"
 )
 
 // SchemaVersion is the on-disk library format version. Files written by
@@ -117,6 +118,7 @@ type Library struct {
 	mu      sync.RWMutex
 	entries map[string]Entry
 	faults  *faults.Injector
+	metrics *metrics.Registry
 }
 
 // SetFaults attaches a fault injector consulted at the persistence
@@ -125,6 +127,22 @@ func (l *Library) SetFaults(in *faults.Injector) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.faults = in
+}
+
+// SetMetrics attaches a metrics registry: lookups, stores, commits and
+// quarantines are counted as cache_* metrics (nil detaches).
+func (l *Library) SetMetrics(reg *metrics.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = reg
+}
+
+// reg returns the attached registry (nil-safe: a nil registry's metrics
+// are inert).
+func (l *Library) reg() *metrics.Registry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.metrics
 }
 
 // NewLibrary creates an empty library.
@@ -137,6 +155,11 @@ func (l *Library) Get(signature string) (Entry, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	e, ok := l.entries[signature]
+	if ok {
+		l.metrics.Counter("cache_hits_total").Inc()
+	} else {
+		l.metrics.Counter("cache_misses_total").Inc()
+	}
 	return e, ok
 }
 
@@ -144,6 +167,7 @@ func (l *Library) Get(signature string) (Entry, bool) {
 func (l *Library) Put(e Entry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.metrics.Counter("cache_puts_total").Inc()
 	if old, ok := l.entries[e.Signature]; ok && old.SimulatedSeconds <= e.SimulatedSeconds {
 		return
 	}
@@ -156,6 +180,9 @@ func (l *Library) Delete(signature string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	_, ok := l.entries[signature]
+	if ok {
+		l.metrics.Counter("cache_deletes_total").Inc()
+	}
 	delete(l.entries, signature)
 	return ok
 }
@@ -187,6 +214,16 @@ func (l *Library) Signatures() []string {
 // holds tuning results, not secrets, and is commonly shared between the
 // offline tuner and online framework processes of different users).
 func (l *Library) Save(path string) error {
+	err := l.save(path)
+	if err != nil {
+		l.reg().Counter("cache_commit_failures_total").Inc()
+	} else {
+		l.reg().Counter("cache_commits_total").Inc()
+	}
+	return err
+}
+
+func (l *Library) save(path string) error {
 	l.mu.RLock()
 	list := make([]Entry, 0, len(l.entries))
 	for _, e := range l.entries {
@@ -278,6 +315,14 @@ func (l *Library) Load(path string) error {
 
 // LoadWithReport is Load returning the per-entry admission report.
 func (l *Library) LoadWithReport(path string) (LoadReport, error) {
+	rep, err := l.loadWithReport(path)
+	reg := l.reg()
+	reg.Counter("cache_loaded_entries_total").Add(int64(rep.Loaded))
+	reg.Counter("cache_quarantined_total").Add(int64(len(rep.Quarantined)))
+	return rep, err
+}
+
+func (l *Library) loadWithReport(path string) (LoadReport, error) {
 	rep := LoadReport{Path: path}
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -9,9 +9,12 @@ import (
 	"strings"
 	"testing"
 
+	"encoding/json"
+
 	"swatop/internal/dsl"
 	"swatop/internal/faults"
 	"swatop/internal/ir"
+	"swatop/internal/metrics"
 )
 
 func sampleStrategy() dsl.Strategy {
@@ -317,5 +320,59 @@ func TestEntryValidate(t *testing.T) {
 		if err := e.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", tc.name, e)
 		}
+	}
+}
+
+func TestLibraryMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	l := NewLibrary()
+	l.SetMetrics(reg)
+
+	if _, ok := l.Get("missing"); ok {
+		t.Fatal("unexpected hit")
+	}
+	l.Put(FromStrategy("g", sampleStrategy(), 0.5, 10))
+	if _, ok := l.Get("g"); !ok {
+		t.Fatal("expected hit")
+	}
+	l.Delete("g")
+	l.Delete("g") // second delete of a gone entry must not count
+
+	c := func(name string) int64 { return reg.Counter(name).Value() }
+	if c("cache_hits_total") != 1 || c("cache_misses_total") != 1 ||
+		c("cache_puts_total") != 1 || c("cache_deletes_total") != 1 {
+		t.Fatalf("counters: hits=%d misses=%d puts=%d deletes=%d",
+			c("cache_hits_total"), c("cache_misses_total"),
+			c("cache_puts_total"), c("cache_deletes_total"))
+	}
+
+	// Save commits; a load with one bad entry quarantines it.
+	l.Put(FromStrategy("g2", sampleStrategy(), 0.5, 10))
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := l.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	bad := FromStrategy("broken", sampleStrategy(), -1, 10) // invalid seconds
+	l2 := NewLibrary()
+	l2.Put(FromStrategy("g2", sampleStrategy(), 0.5, 10))
+	l2.Put(bad)
+	// Hand-write a file with the invalid entry to exercise quarantine.
+	data, _ := json.Marshal(libraryFile{Version: SchemaVersion,
+		Entries: []Entry{FromStrategy("ok", sampleStrategy(), 0.5, 10), bad}})
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewLibrary()
+	fresh.SetMetrics(reg)
+	if _, err := fresh.LoadWithReport(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if c("cache_commits_total") != 1 {
+		t.Fatalf("commits = %d, want 1", c("cache_commits_total"))
+	}
+	if c("cache_loaded_entries_total") != 1 || c("cache_quarantined_total") != 1 {
+		t.Fatalf("loaded=%d quarantined=%d, want 1/1",
+			c("cache_loaded_entries_total"), c("cache_quarantined_total"))
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"swatop/internal/faults"
 	"swatop/internal/ir"
+	"swatop/internal/metrics"
 	"swatop/internal/primitives"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
@@ -49,6 +50,11 @@ type Options struct {
 	// attached); Result.Seconds is this run's time, not the whole
 	// timeline's.
 	Machine *sw26010.Machine
+	// Metrics, when non-nil, receives run-level instrumentation
+	// (exec_runs_total, exec_run_failures_total, the exec_run_seconds
+	// latency histogram and the exec_machine_seconds accumulator). All
+	// values are simulated-clock quantities, so they are deterministic.
+	Metrics *metrics.Registry
 }
 
 // fastLoopThreshold is the minimum extent for fast-forwarding: iterations
@@ -86,6 +92,18 @@ type state struct {
 // tensors; scratch tensors are allocated internally; Output tensors are
 // zeroed first (operators accumulate from zero).
 func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, error) {
+	opt.Metrics.Counter("exec_runs_total").Inc()
+	res, err := runProgram(p, binds, opt)
+	if err != nil {
+		opt.Metrics.Counter("exec_run_failures_total").Inc()
+		return res, err
+	}
+	opt.Metrics.Histogram("exec_run_seconds", metrics.TimeBuckets...).Observe(res.Seconds)
+	opt.Metrics.Gauge("exec_machine_seconds").Add(res.Seconds)
+	return res, nil
+}
+
+func runProgram(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, error) {
 	// The measurement-level injection point: a fired fault rejects the run
 	// before the machine starts, like a batch job lost to a flaky node.
 	if err := opt.Faults.Fire(faults.Measure); err != nil {
@@ -304,7 +322,18 @@ func (st *state) wait(x *ir.DMAWait) error {
 		return fmt.Errorf("dma_wait %s x%d: only %d outstanding", x.Reply, times, st.replies[x.Reply])
 	}
 	st.replies[x.Reply] -= times
-	return st.m.WaitDMA(x.Reply, times)
+	if st.opt.Trace == nil {
+		return st.m.WaitDMA(x.Reply, times)
+	}
+	// Record exposed (non-hidden) wait time as a stall interval: the part
+	// of the timeline where the compute channel sat blocked on the engine.
+	t0 := st.m.Now()
+	stall0 := st.m.Counters.StallSeconds
+	err := st.m.WaitDMA(x.Reply, times)
+	if d := st.m.Counters.StallSeconds - stall0; err == nil && d > 0 {
+		st.opt.Trace.Add(trace.KindWait, x.Reply, t0, d)
+	}
+	return err
 }
 
 func (st *state) buffer(name string) (*sw26010.SPMBuffer, error) {

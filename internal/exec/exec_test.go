@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"swatop/internal/ir"
+	"swatop/internal/metrics"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
+	"swatop/internal/trace"
 )
 
 // manualProgram builds a tiny hand-written IR program: load two 4×4 tiles,
@@ -292,5 +294,53 @@ func TestRunSharedMachine(t *testing.T) {
 	}
 	if second.Counters.GemmCalls != 2 || second.Counters.DMAOps != 6 {
 		t.Fatalf("counters should accumulate on a shared machine: %+v", second.Counters)
+	}
+}
+
+// TestRunMetrics: the exec layer reports run counts, the latency histogram
+// and accumulated machine seconds; failures land in the failure counter.
+func TestRunMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	res, err := Run(manualProgram(), bind3(), Options{Functional: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("exec_runs_total").Value(); got != 1 {
+		t.Fatalf("runs = %d, want 1", got)
+	}
+	if got := reg.Histogram("exec_run_seconds").Count(); got != 1 {
+		t.Fatalf("latency observations = %d, want 1", got)
+	}
+	if got := reg.Gauge("exec_machine_seconds").Value(); got != res.Seconds {
+		t.Fatalf("machine seconds = %g, want %g", got, res.Seconds)
+	}
+
+	// A failing run (unbound tensor) counts as a failure, not a latency.
+	if _, err := Run(manualProgram(), nil, Options{Metrics: reg}); err == nil {
+		t.Fatal("run with no bindings must fail")
+	}
+	if got := reg.Counter("exec_run_failures_total").Value(); got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+	if got := reg.Histogram("exec_run_seconds").Count(); got != 1 {
+		t.Fatal("failed runs must not observe latency")
+	}
+}
+
+// TestWaitTraceEvents: an un-overlapped DMA wait shows up as a wait-kind
+// stall interval on the timeline; a fully hidden one does not.
+func TestWaitTraceEvents(t *testing.T) {
+	var log trace.Log
+	if _, err := Run(manualProgram(), bind3(), Options{Functional: true, Trace: &log}); err != nil {
+		t.Fatal(err)
+	}
+	// The manual program issues synchronous RegionMoves: waits are exposed.
+	if log.BusyTime(trace.KindWait) <= 0 {
+		t.Fatalf("synchronous moves must expose wait time:\n%s", log.Summary())
+	}
+	for _, ev := range log.Events {
+		if ev.Kind == trace.KindWait && ev.Dur <= 0 {
+			t.Fatalf("wait event with non-positive duration: %+v", ev)
+		}
 	}
 }

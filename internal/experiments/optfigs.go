@@ -44,7 +44,7 @@ func (r *Runner) Fig10() ([]Fig10Row, error) {
 			return cand{}, false, err
 		}
 		op.Space().DoubleBuffer = []bool{false}
-		res, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
+		res, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{Metrics: r.Metrics})
 		if err != nil {
 			return cand{}, false, fmt.Errorf("fig10 %v: %w", s, err)
 		}
@@ -120,7 +120,7 @@ func (r *Runner) Fig11() ([]Fig11Row, error) {
 		if err != nil {
 			return Fig11Row{}, false, err
 		}
-		res, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
+		res, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{Metrics: r.Metrics})
 		if err != nil {
 			return Fig11Row{}, false, fmt.Errorf("fig11 %v: %w", p, err)
 		}

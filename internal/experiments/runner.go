@@ -15,6 +15,7 @@ import (
 	"swatop/internal/exec"
 	"swatop/internal/gemm"
 	"swatop/internal/ir"
+	"swatop/internal/metrics"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 )
@@ -46,6 +47,11 @@ type Runner struct {
 	// Retries never change any reported number (the tuner's ledger counts
 	// only completed measurements).
 	Retry autotune.Retry
+	// Metrics, when non-nil, receives every tuning run's autotune_* and
+	// exec_* metrics (candidate counts, wall seconds, simulated machine
+	// seconds). Purely observational: attaching a registry changes no
+	// reported number.
+	Metrics *metrics.Registry
 
 	mu         sync.Mutex // guards the lazily built sweep caches
 	progressMu sync.Mutex // serializes Progress callbacks
@@ -90,7 +96,7 @@ func (r *Runner) tuneConv(ctx context.Context, method string, s conv.Shape, work
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry, Metrics: r.Metrics})
 	if err != nil {
 		return autotune.Result{}, err
 	}
@@ -126,7 +132,7 @@ func (r *Runner) tuneGemm(ctx context.Context, p gemm.Params, workers int) (auto
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry, Metrics: r.Metrics})
 	if err != nil {
 		return autotune.Result{}, err
 	}

@@ -61,11 +61,11 @@ func (r *Runner) Table3() ([]Table3Row, error) {
 		if err != nil {
 			return tuned{}, false, err
 		}
-		bb, err := autotune.BlackBoxCtx(context.Background(), op, autotune.Options{})
+		bb, err := autotune.BlackBoxCtx(context.Background(), op, autotune.Options{Metrics: r.Metrics})
 		if err != nil {
 			return tuned{}, false, fmt.Errorf("table3 %s blackbox: %w", j.layer, err)
 		}
-		mb, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
+		mb, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{Metrics: r.Metrics})
 		if err != nil {
 			return tuned{}, false, fmt.Errorf("table3 %s swATOP: %w", j.layer, err)
 		}
@@ -125,11 +125,11 @@ func (r *Runner) Fig9() ([]Fig9Row, error) {
 		if err != nil {
 			return Fig9Row{}, false, err
 		}
-		bb, err := autotune.BlackBoxCtx(context.Background(), op, autotune.Options{})
+		bb, err := autotune.BlackBoxCtx(context.Background(), op, autotune.Options{Metrics: r.Metrics})
 		if err != nil {
 			return Fig9Row{}, false, fmt.Errorf("fig9 %v blackbox: %w", s, err)
 		}
-		mb, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{})
+		mb, err := autotune.ModelBasedCtx(context.Background(), op, r.Model, autotune.Options{Metrics: r.Metrics})
 		if err != nil {
 			return Fig9Row{}, false, fmt.Errorf("fig9 %v model: %w", s, err)
 		}

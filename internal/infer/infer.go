@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"swatop/internal/autotune"
 	"swatop/internal/baseline"
@@ -23,6 +24,7 @@ import (
 	"swatop/internal/gemm"
 	"swatop/internal/graph"
 	"swatop/internal/ir"
+	"swatop/internal/metrics"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 	"swatop/internal/trace"
@@ -84,6 +86,15 @@ type Options struct {
 	// Progress, when non-nil, is called after each operator node's
 	// schedule is resolved.
 	Progress func(node string, done, total int)
+	// Metrics, when non-nil, receives run instrumentation: per-layer
+	// schedule-resolution outcomes (infer_conv_cached_total, ...), conv
+	// method selections (infer_method_winograd_total, ...), the arena peak,
+	// the machine's lifetime counters (machine_*) and the DMA-hidden ratio.
+	// It is threaded into tuning and node execution, and also attached to
+	// Options.Library. During a fully cached run every recorded value is a
+	// simulated-machine quantity, so snapshots are bit-identical across
+	// Workers values.
+	Metrics *metrics.Registry
 }
 
 // Layer is one executed node of the network.
@@ -157,6 +168,7 @@ func (r *Result) GFLOPS() float64 {
 type resolvedOp struct {
 	prog      *ir.Program
 	strategy  string
+	method    string // winning conv lowering method ("" for gemm/degraded)
 	spaceSize int
 	cached    bool
 	degraded  bool
@@ -174,6 +186,9 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	}
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 1e-3
+	}
+	if opts.Library != nil && opts.Metrics != nil {
+		opts.Library.SetMetrics(opts.Metrics)
 	}
 	resolved, err := e.resolveAll(ctx, g, opts)
 	if err != nil {
@@ -210,6 +225,7 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 				FastLoops:  !opts.Functional,
 				Trace:      nodeLog,
 				Machine:    m,
+				Metrics:    opts.Metrics,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
@@ -227,13 +243,23 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 			} else {
 				layer.FLOPs = n.Gemm.FLOPs()
 			}
+			kindName := "gemm"
+			if n.Kind == graph.Conv {
+				kindName = "conv"
+			}
 			switch {
 			case r.cached:
 				res.CachedOps++
+				opts.Metrics.Counter("infer_" + kindName + "_cached_total").Inc()
 			case r.degraded:
 				res.DegradedOps++
+				opts.Metrics.Counter("infer_" + kindName + "_degraded_total").Inc()
 			default:
 				res.TunedOps++
+				opts.Metrics.Counter("infer_" + kindName + "_tuned_total").Inc()
+			}
+			if r.method != "" {
+				opts.Metrics.Counter("infer_method_" + r.method + "_total").Inc()
 			}
 			if opts.Functional {
 				maxErr, err := verifyNode(n, ts)
@@ -253,6 +279,15 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
 			}
 			layer.Seconds = secs
+		}
+
+		// Stamp span metadata before merging: operator name, layer index
+		// and (for operators) the selected strategy travel into the
+		// Chrome-trace export.
+		nodeLog.Annotate("op", n.Name)
+		nodeLog.Annotate("layer", strconv.Itoa(len(res.Layers)))
+		if layer.Strategy != "" {
+			nodeLog.Annotate("strategy", layer.Strategy)
 		}
 
 		// The shared machine stamps events in network time already; merge
@@ -275,6 +310,15 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	res.Timeline = timeline
 	if !opts.SkipBaseline && res.Seconds > 0 {
 		res.Speedup = res.BaselineSeconds / res.Seconds
+	}
+	if opts.Metrics != nil {
+		res.Counters.Publish(opts.Metrics)
+		opts.Metrics.Gauge("infer_arena_peak_bytes").Set(float64(plan.PeakActivationBytes()))
+		opts.Metrics.Gauge("infer_machine_seconds").Add(res.Seconds)
+		if dma := timeline.BusyTime(trace.KindDMA); dma > 0 {
+			opts.Metrics.Gauge("infer_dma_hidden_ratio").
+				Set(timeline.Overlap(trace.KindGemm, trace.KindDMA) / dma)
+		}
 	}
 	if opts.Functional {
 		res.Output = ts[g.Output]
@@ -379,6 +423,7 @@ func (e *Engine) resolveConv(ctx context.Context, s conv.Shape, opts Options) (*
 			continue
 		}
 		r.strategy = m.name + " " + r.strategy
+		r.method = m.name
 		if best == nil || secs < bestSecs {
 			best, bestSecs = r, secs
 		}
@@ -454,6 +499,7 @@ func (e *Engine) resolveOp(ctx context.Context, op autotune.Operator, opts Optio
 		Faults:               opts.Faults,
 		Retry:                opts.Retry,
 		MaxCandidateFailures: opts.MaxCandidateFailures,
+		Metrics:              opts.Metrics,
 	})
 	if err != nil {
 		return nil, err

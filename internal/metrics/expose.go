@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is the frozen state of one histogram. Counts has one
+// more entry than Bounds: the last slot is the +Inf overflow bucket (kept
+// out of Bounds so the snapshot stays JSON-serializable).
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON encoding
+// (map keys marshal sorted, so the document is deterministic for
+// deterministic values).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. Nil-safe: a nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as an indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// promName sanitizes a metric name for the Prometheus exposition format.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): TYPE comments, cumulative histogram buckets with
+// an explicit +Inf bound, names sorted.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pn := promName(name)
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			pn, h.Count, pn, formatFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders the snapshot as an aligned human-readable table — the
+// CLIs' `-metrics -` mode.
+func (s Snapshot) Table() string {
+	var b strings.Builder
+	width := 0
+	for _, m := range []int{longest(s.Counters), longest(s.Gauges), longest(s.Histograms)} {
+		if m > width {
+			width = m
+		}
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-*s %d\n", width, name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-*s %s\n", width, name, formatFloat(s.Gauges[name]))
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(&b, "  %-*s count %d  sum %s  mean %s\n",
+				width, name, h.Count, formatFloat(h.Sum), formatFloat(mean))
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}
+
+func longest[V any](m map[string]V) int {
+	n := 0
+	for k := range m {
+		if len(k) > n {
+			n = len(k)
+		}
+	}
+	return n
+}

@@ -55,10 +55,24 @@ type Counters struct {
 	DMABlocks         int64
 	DMABytesRequested int64
 	DMABytesTouched   int64 // includes transaction waste
+	DMATransactions   int64 // 128 B memory transactions moved
 	GemmCalls         int64
 	Flops             int64
 	TransformOps      int64
 	SPMPeakBytes      int64 // peak per-CPE SPM usage
+
+	// ComputeSeconds and StallSeconds split the compute-channel clock into
+	// time spent executing (compute statements, DMA issue and reply-word
+	// polling costs) and time spent blocked (DMA waits, injected stalls).
+	// Their sum always equals the compute clock.
+	ComputeSeconds float64
+	StallSeconds   float64
+}
+
+// AlignmentWasteBytes is the transaction padding Eq. 1 charges: bytes the
+// memory system moved beyond what the schedule requested.
+func (c Counters) AlignmentWasteBytes() int64 {
+	return c.DMABytesTouched - c.DMABytesRequested
 }
 
 // NewMachine creates a machine at time zero with an empty SPM.
@@ -107,7 +121,10 @@ func (m *Machine) AdvanceCompute(dt float64) {
 	if dt < 0 {
 		panic("sw26010: negative compute time")
 	}
-	m.clock += dt + m.faults.Stall(faults.ComputeStall)
+	stall := m.faults.Stall(faults.ComputeStall)
+	m.clock += dt + stall
+	m.Counters.ComputeSeconds += dt
+	m.Counters.StallSeconds += stall
 }
 
 // Snapshot captures the timeline and counters (for steady-state loop
@@ -140,9 +157,12 @@ func (m *Machine) FastForward(since Snapshot, times int64) {
 	c.DMABlocks += (c.DMABlocks - p.DMABlocks) * times
 	c.DMABytesRequested += (c.DMABytesRequested - p.DMABytesRequested) * times
 	c.DMABytesTouched += (c.DMABytesTouched - p.DMABytesTouched) * times
+	c.DMATransactions += (c.DMATransactions - p.DMATransactions) * times
 	c.GemmCalls += (c.GemmCalls - p.GemmCalls) * times
 	c.Flops += (c.Flops - p.Flops) * times
 	c.TransformOps += (c.TransformOps - p.TransformOps) * times
+	c.ComputeSeconds += (c.ComputeSeconds - p.ComputeSeconds) * f
+	c.StallSeconds += (c.StallSeconds - p.StallSeconds) * f
 }
 
 // SPM exposes the SPM allocator.
@@ -242,6 +262,7 @@ func (m *Machine) IssueDMA(reply string, req DMARequest) error {
 
 	// Issue cost on the compute channel (writing the descriptor).
 	m.clock += Seconds(30)
+	m.Counters.ComputeSeconds += Seconds(30)
 
 	start := m.clock + DMAStartupSeconds
 	if m.dmaFree > start {
@@ -262,6 +283,7 @@ func (m *Machine) IssueDMA(reply string, req DMARequest) error {
 	m.Counters.DMABlocks += int64(req.BlockCount) * int64(req.CPEs)
 	m.Counters.DMABytesRequested += int64(req.BlockBytes) * int64(req.BlockCount) * int64(req.CPEs)
 	m.Counters.DMABytesTouched += touched
+	m.Counters.DMATransactions += touched / TransactionBytes
 	return nil
 }
 
@@ -281,10 +303,12 @@ func (m *Machine) WaitDMA(reply string, times int) error {
 	last := rw.completions[times-1]
 	rw.completions = rw.completions[times:]
 	if last > m.clock {
+		m.Counters.StallSeconds += last - m.clock
 		m.clock = last
 	}
 	// Polling the reply word costs a few cycles.
 	m.clock += Seconds(10)
+	m.Counters.ComputeSeconds += Seconds(10)
 	return nil
 }
 

@@ -250,6 +250,48 @@ func TestDMATimeMonotoneQuick(t *testing.T) {
 	}
 }
 
+// TestClockSplitInvariant: every path that moves the compute clock must
+// classify the time as compute or stall, so the two always sum to the clock.
+func TestClockSplitInvariant(t *testing.T) {
+	m := NewMachine()
+	req := DMARequest{BlockBytes: 100, BlockCount: 16, StrideBytes: 300, OffsetBytes: 4, CPEs: NumCPE}
+	if err := m.IssueDMA("r", req); err != nil {
+		t.Fatal(err)
+	}
+	m.AdvanceCompute(1e-6)
+	if err := m.WaitDMA("r", 1); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters
+	if math.Abs(m.Now()-(c.ComputeSeconds+c.StallSeconds)) > 1e-15 {
+		t.Fatalf("clock %.9g != compute %.9g + stall %.9g", m.Now(), c.ComputeSeconds, c.StallSeconds)
+	}
+	if c.StallSeconds <= 0 {
+		t.Fatal("an exposed DMA wait must register stall time")
+	}
+	if c.DMATransactions != c.DMABytesTouched/TransactionBytes {
+		t.Fatalf("transactions %d, want touched/%d = %d",
+			c.DMATransactions, TransactionBytes, c.DMABytesTouched/TransactionBytes)
+	}
+	// 100 B blocks offset by 4 straddle two 128 B transactions: waste > 0.
+	if c.AlignmentWasteBytes() <= 0 {
+		t.Fatalf("misaligned blocks must report waste, got %d", c.AlignmentWasteBytes())
+	}
+
+	// FastForward must scale the new fields with everything else.
+	snap := m.Snapshot()
+	m.AdvanceCompute(1e-6)
+	before := m.Counters
+	m.FastForward(snap, 3)
+	want := before.ComputeSeconds + (before.ComputeSeconds-snap.Counters.ComputeSeconds)*3
+	if math.Abs(m.Counters.ComputeSeconds-want) > 1e-15 {
+		t.Fatalf("FastForward compute = %.9g, want %.9g", m.Counters.ComputeSeconds, want)
+	}
+	if math.Abs(m.Now()-(m.Counters.ComputeSeconds+m.Counters.StallSeconds)) > 1e-12 {
+		t.Fatal("clock split invariant broken after FastForward")
+	}
+}
+
 func TestElapsedIncludesOutstandingDMA(t *testing.T) {
 	m := NewMachine()
 	_ = m.IssueDMA("r", DMARequest{BlockBytes: 1 << 20, BlockCount: 1, StrideBytes: 1 << 20, CPEs: NumCPE})

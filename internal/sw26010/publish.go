@@ -1,0 +1,26 @@
+package sw26010
+
+import "swatop/internal/metrics"
+
+// Publish writes the counter values into the registry as machine_* gauges.
+// Gauges (Set for totals, Max for the SPM peak) make the publish idempotent:
+// callers republish the same accumulated Counters after every run without
+// double-counting, and the snapshot always reflects the machine's lifetime
+// totals. A nil registry is a no-op.
+func (c Counters) Publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("machine_dma_ops_total").Set(float64(c.DMAOps))
+	reg.Gauge("machine_dma_blocks_total").Set(float64(c.DMABlocks))
+	reg.Gauge("machine_dma_bytes_requested_total").Set(float64(c.DMABytesRequested))
+	reg.Gauge("machine_dma_bytes_touched_total").Set(float64(c.DMABytesTouched))
+	reg.Gauge("machine_dma_waste_bytes_total").Set(float64(c.AlignmentWasteBytes()))
+	reg.Gauge("machine_dma_transactions_total").Set(float64(c.DMATransactions))
+	reg.Gauge("machine_gemm_calls_total").Set(float64(c.GemmCalls))
+	reg.Gauge("machine_flops_total").Set(float64(c.Flops))
+	reg.Gauge("machine_transform_ops_total").Set(float64(c.TransformOps))
+	reg.Gauge("machine_spm_peak_bytes").Max(float64(c.SPMPeakBytes))
+	reg.Gauge("machine_compute_seconds").Set(c.ComputeSeconds)
+	reg.Gauge("machine_stall_seconds").Set(c.StallSeconds)
+}

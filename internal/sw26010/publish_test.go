@@ -1,0 +1,44 @@
+package sw26010
+
+import (
+	"testing"
+
+	"swatop/internal/metrics"
+)
+
+func TestCountersPublish(t *testing.T) {
+	m := NewMachine()
+	req := DMARequest{BlockBytes: 100, BlockCount: 4, StrideBytes: 300, CPEs: NumCPE}
+	if err := m.IssueDMA("r", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitDMA("r", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SPM().Alloc("buf", 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	m.NoteSPMUsage()
+
+	reg := metrics.NewRegistry()
+	m.Counters.Publish(reg)
+	// Republishing the same counters must be idempotent.
+	m.Counters.Publish(reg)
+
+	s := reg.Snapshot()
+	if got := s.Gauges["machine_dma_bytes_touched_total"]; got != float64(m.Counters.DMABytesTouched) {
+		t.Fatalf("touched = %g, want %d", got, m.Counters.DMABytesTouched)
+	}
+	if got := s.Gauges["machine_dma_waste_bytes_total"]; got != float64(m.Counters.AlignmentWasteBytes()) {
+		t.Fatalf("waste = %g, want %d", got, m.Counters.AlignmentWasteBytes())
+	}
+	if s.Gauges["machine_spm_peak_bytes"] <= 0 {
+		t.Fatal("SPM peak not published")
+	}
+	if s.Gauges["machine_compute_seconds"] <= 0 || s.Gauges["machine_stall_seconds"] <= 0 {
+		t.Fatalf("clock split not published: %+v", s.Gauges)
+	}
+
+	// Nil registry is a no-op, not a panic.
+	m.Counters.Publish(nil)
+}

@@ -28,6 +28,10 @@ type Event struct {
 	Label string
 	Start float64 // seconds on the simulated clock
 	Dur   float64
+	// Args is optional span metadata (operator name, layer index, selected
+	// strategy, ...) carried into the Chrome-trace export. Nil for plain
+	// events; shared, not copied, by Merge.
+	Args map[string]string
 }
 
 // Log accumulates events of one run.
@@ -43,6 +47,24 @@ func (l *Log) Add(kind Kind, label string, start, dur float64) {
 // Len reports the event count.
 func (l *Log) Len() int { return len(l.Events) }
 
+// Annotate sets key=value in the Args of every event that does not already
+// carry that key. The inference runtime uses it to stamp a per-layer log
+// with the operator name, layer index and selected strategy before merging
+// it onto the network timeline; existing keys win so inner annotations
+// survive outer ones.
+func (l *Log) Annotate(key, value string) {
+	for i := range l.Events {
+		ev := &l.Events[i]
+		if _, ok := ev.Args[key]; ok {
+			continue
+		}
+		if ev.Args == nil {
+			ev.Args = map[string]string{}
+		}
+		ev.Args[key] = value
+	}
+}
+
 // Merge appends shifted copies of the given logs' events into l: every
 // event is moved by offset on the time axis, kinds, labels and durations
 // untouched. Concatenating per-layer timelines into one network timeline is
@@ -56,9 +78,9 @@ func (l *Log) Merge(offset float64, others ...*Log) {
 			continue
 		}
 		for _, ev := range o.Events {
-			l.Events = append(l.Events, Event{
-				Kind: ev.Kind, Label: ev.Label, Start: ev.Start + offset, Dur: ev.Dur,
-			})
+			shifted := ev
+			shifted.Start += offset
+			l.Events = append(l.Events, shifted)
 		}
 	}
 }
@@ -171,24 +193,37 @@ func (l *Log) Gantt(width int) string {
 		return "(empty timeline)\n"
 	}
 	var b strings.Builder
-	for _, k := range []Kind{KindGemm, KindTransform, KindDMA} {
+	for _, k := range []Kind{KindGemm, KindTransform, KindDMA, KindWait} {
 		row := make([]byte, width)
 		for i := range row {
 			row[i] = '.'
 		}
 		mark := byte(strings.ToUpper(string(k))[0])
+		drew := false
 		for _, ev := range l.Events {
-			if ev.Kind != k {
+			if ev.Kind != k || ev.Dur <= 0 {
+				// A zero-duration event at the timeline end would index one
+				// past the row; instants carry no width anyway.
 				continue
 			}
 			lo := int(ev.Start / end * float64(width))
 			hi := int((ev.Start + ev.Dur) / end * float64(width))
+			if lo >= width {
+				lo = width - 1
+			}
+			if lo < 0 {
+				lo = 0
+			}
 			if hi >= width {
 				hi = width - 1
 			}
 			for i := lo; i <= hi; i++ {
 				row[i] = mark
 			}
+			drew = true
+		}
+		if k == KindWait && !drew {
+			continue // most schedules never stall; keep the chart compact
 		}
 		fmt.Fprintf(&b, "%-10s |%s|\n", k, row)
 	}

@@ -119,6 +119,103 @@ func TestMergeTwoLayerGolden(t *testing.T) {
 	}
 }
 
+// TestMergeNegativeOffset: merging with a negative offset shifts events
+// left, and a chain of negative merges composes like vector addition.
+func TestMergeNegativeOffset(t *testing.T) {
+	abs := &trace.Log{}
+	abs.Add(trace.KindGemm, "g", 10, 2)
+	abs.Add(trace.KindDMA, "d", 11, 2)
+	abs.Annotate("op", "conv3_1")
+
+	rel := &trace.Log{}
+	rel.Merge(-10, abs)
+	if rel.Events[0].Start != 0 || rel.Events[1].Start != 1 {
+		t.Fatalf("rebase: starts %g, %g; want 0, 1", rel.Events[0].Start, rel.Events[1].Start)
+	}
+	if got, want := rel.Overlap(trace.KindGemm, trace.KindDMA), abs.Overlap(trace.KindGemm, trace.KindDMA); got != want {
+		t.Fatalf("rebased overlap = %g, want %g", got, want)
+	}
+	if rel.Events[0].Args["op"] != "conv3_1" {
+		t.Fatal("merge dropped event Args")
+	}
+
+	// Shifting further negative pushes starts below zero but keeps durations.
+	neg := &trace.Log{}
+	neg.Merge(-5, rel)
+	if neg.Events[0].Start != -5 || neg.Events[0].Dur != 2 {
+		t.Fatalf("negative start = %g dur %g", neg.Events[0].Start, neg.Events[0].Dur)
+	}
+	if got := neg.BusyTime(trace.KindGemm); got != 2 {
+		t.Fatalf("busy with negative starts = %g, want 2", got)
+	}
+}
+
+// TestTouchingSpansBoundary pins the half-open interval semantics: spans
+// that touch (sp.s == cur.e) coalesce for BusyTime but contribute zero
+// Overlap — touching is not overlapping.
+func TestTouchingSpansBoundary(t *testing.T) {
+	var l trace.Log
+	l.Add(trace.KindGemm, "a", 0, 2)
+	l.Add(trace.KindGemm, "b", 2, 3) // starts exactly where a ends
+	if got := l.BusyTime(trace.KindGemm); got != 5 {
+		t.Fatalf("touching spans busy = %g, want 5 (must coalesce, not double-count)", got)
+	}
+
+	var o trace.Log
+	o.Add(trace.KindGemm, "", 0, 2)
+	o.Add(trace.KindDMA, "", 2, 2) // dma starts the instant compute ends
+	if got := o.Overlap(trace.KindGemm, trace.KindDMA); got != 0 {
+		t.Fatalf("touching spans overlap = %g, want 0", got)
+	}
+	// Shared endpoint in the middle: gemm [0,2] and [2,4] vs dma [1,3] —
+	// the boundary point at t=2 must not be counted twice.
+	var p trace.Log
+	p.Add(trace.KindGemm, "", 0, 2)
+	p.Add(trace.KindGemm, "", 2, 2)
+	p.Add(trace.KindDMA, "", 1, 2)
+	if got := p.Overlap(trace.KindGemm, trace.KindDMA); got != 2 {
+		t.Fatalf("overlap = %g, want 2", got)
+	}
+}
+
+// TestGanttZeroDurationAtEnd is the regression test for the out-of-range
+// panic: a zero-duration event whose Start equals the timeline end used to
+// compute lo == width and index past the row buffer.
+func TestGanttZeroDurationAtEnd(t *testing.T) {
+	var l trace.Log
+	l.Add(trace.KindGemm, "", 0, 2)
+	l.Add(trace.KindDMA, "done", 2, 0) // instant at the exact timeline end
+	got := l.Gantt(40)
+	if !strings.Contains(got, "G") {
+		t.Fatalf("gantt lost the compute row:\n%s", got)
+	}
+	if strings.Contains(got, "wait") {
+		t.Fatalf("wait row should be omitted when nothing stalled:\n%s", got)
+	}
+	// With a stall recorded, the wait row appears.
+	l.Add(trace.KindWait, "rep", 1, 0.5)
+	got = l.Gantt(40)
+	if !strings.Contains(got, "wait") || !strings.Contains(got, "W") {
+		t.Fatalf("gantt missing wait row:\n%s", got)
+	}
+}
+
+// TestAnnotate: existing keys win, nil maps are created lazily.
+func TestAnnotate(t *testing.T) {
+	var l trace.Log
+	l.Add(trace.KindGemm, "", 0, 1)
+	l.Events[0].Args = map[string]string{"op": "inner"}
+	l.Add(trace.KindDMA, "", 0, 1)
+	l.Annotate("op", "outer")
+	l.Annotate("layer", "3")
+	if l.Events[0].Args["op"] != "inner" {
+		t.Fatal("Annotate must not overwrite existing keys")
+	}
+	if l.Events[1].Args["op"] != "outer" || l.Events[0].Args["layer"] != "3" {
+		t.Fatalf("Annotate missed events: %+v", l.Events)
+	}
+}
+
 // TestTraceOfRealRun: a double-buffered GEMM should show substantial DMA
 // time hidden behind compute.
 func TestTraceOfRealRun(t *testing.T) {

@@ -1,0 +1,20 @@
+package swatop
+
+import "swatop/internal/metrics"
+
+// MetricsRegistry is the concurrency-safe metrics registry of
+// internal/metrics: named counters, gauges and fixed-bucket histograms with
+// JSON and Prometheus-style exposition. Attach one to a Tuner or Engine
+// with SetMetrics, or use the process-wide default from Metrics().
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's values; see
+// MetricsSnapshot.WriteJSON, WritePrometheus and Table.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Metrics returns the process-wide default registry — the one facade
+// components record into when no explicit registry was attached.
+func Metrics() *MetricsRegistry { return metrics.Default() }

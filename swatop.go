@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"swatop/internal/autotune"
@@ -28,6 +29,7 @@ import (
 	"swatop/internal/faults"
 	"swatop/internal/gemm"
 	"swatop/internal/ir"
+	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 	"swatop/internal/trace"
 )
@@ -109,16 +111,34 @@ type Tuner struct {
 	model       *costmodel.GemmModel
 	lib         *Library
 	workers     int
-	progress    func(done, valid int)
+	progress    func(done, valid int, best float64)
 	fallback    FallbackPolicy
 	faults      *faults.Injector
 	retry       autotune.Retry
 	maxFailures int
+	metrics     *MetricsRegistry
 }
 
 // UseLibrary attaches a schedule cache: tuning consults it first and
 // records new results into it.
-func (t *Tuner) UseLibrary(l *Library) { t.lib = l }
+func (t *Tuner) UseLibrary(l *Library) {
+	t.lib = l
+	if l != nil && t.metrics != nil {
+		l.SetMetrics(t.metrics)
+	}
+}
+
+// SetMetrics attaches a metrics registry: every tuning run records its
+// candidate counts, retry activity, best-score trajectory, stage wall
+// clocks and machine-time ledger into it (see internal/metrics). The
+// attached Library, if any, reports its hit/miss/commit activity to the
+// same registry. Passing nil detaches.
+func (t *Tuner) SetMetrics(reg *MetricsRegistry) {
+	t.metrics = reg
+	if t.lib != nil {
+		t.lib.SetMetrics(reg)
+	}
+}
 
 // SetWorkers sets the number of concurrent compile+estimate goroutines the
 // tuner uses (values below 2 run sequentially). The selected schedule, its
@@ -129,8 +149,21 @@ func (t *Tuner) UseLibrary(l *Library) { t.lib = l }
 func (t *Tuner) SetWorkers(n int) { t.workers = n }
 
 // SetProgress installs a tuning progress callback, invoked from a single
-// goroutine after each candidate with the processed and valid counts.
-func (t *Tuner) SetProgress(fn func(done, valid int)) { t.progress = fn }
+// goroutine after each candidate with the processed and valid counts. It is
+// the compatibility form of SetProgressBest; the best-score argument is
+// dropped.
+func (t *Tuner) SetProgress(fn func(done, valid int)) {
+	if fn == nil {
+		t.progress = nil
+		return
+	}
+	t.progress = func(done, valid int, _ float64) { fn(done, valid) }
+}
+
+// SetProgressBest installs a tuning progress callback that also receives
+// the best score seen so far (predicted seconds during the search, 0 while
+// no valid candidate exists), for live best-score progress lines.
+func (t *Tuner) SetProgressBest(fn func(done, valid int, best float64)) { t.progress = fn }
 
 // SetFallback selects the degradation policy for failed or deadline-
 // expired tuning runs.
@@ -229,6 +262,7 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64,
 		if e, ok := t.lib.Get(op.Name()); ok {
 			prog, err := op.Compile(e.Strategy())
 			if err == nil {
+				t.metrics.Counter("tuner_cache_hits_total").Inc()
 				return &Tuned{
 					program:   prog,
 					strategy:  e.Strategy().String(),
@@ -243,15 +277,20 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64,
 			t.lib.Delete(op.Name())
 		}
 	}
+	if t.lib != nil {
+		t.metrics.Counter("tuner_cache_misses_total").Inc()
+	}
 	res, err := autotune.ModelBasedCtx(ctx, op, t.model, autotune.Options{
 		Workers:              t.workers,
 		Progress:             t.progress,
 		Faults:               t.faults,
 		Retry:                t.retry,
 		MaxCandidateFailures: t.maxFailures,
+		Metrics:              t.metrics,
 	})
 	if err != nil {
 		if t.fallback == FallbackBaseline && !errors.Is(err, context.Canceled) {
+			t.metrics.Counter("tuner_degraded_total").Inc()
 			return t.degrade(op.Name(), fallback, flops, err)
 		}
 		return nil, err
@@ -320,18 +359,44 @@ func (t *Tuned) FailedCandidates() int { return t.failed }
 func (t *Tuned) EmitC() (string, error) { return codegen.EmitC(t.program) }
 
 // Trace re-runs the tuned operator with timeline recording and returns a
-// textual summary plus a coarse Gantt chart — showing, in particular, how
-// much DMA time double buffering hides behind compute.
+// textual summary, a coarse Gantt chart and a roofline block — showing, in
+// particular, how much DMA time double buffering hides behind compute and
+// how close the schedule came to the machine's peaks.
 func (t *Tuned) Trace() (string, error) {
-	binds, err := exec.BindVirtual(t.program)
+	log, res, err := t.timeline()
 	if err != nil {
 		return "", err
 	}
-	var log trace.Log
-	if _, err := exec.Run(t.program, binds, exec.Options{Trace: &log}); err != nil {
-		return "", err
+	roof := log.Roofline(t.flops, res.Counters.DMABytesTouched,
+		sw26010.PeakGFlops, sw26010.DMAEffBandwidth)
+	return log.Summary() + log.Gantt(72) + roof.String(), nil
+}
+
+// WriteChromeTrace re-runs the tuned operator with timeline recording and
+// writes the timeline in the Chrome trace-event JSON format — the file
+// opens directly in ui.perfetto.dev. Every span carries the selected
+// strategy in its Args.
+func (t *Tuned) WriteChromeTrace(w io.Writer) error {
+	log, _, err := t.timeline()
+	if err != nil {
+		return err
 	}
-	return log.Summary() + log.Gantt(72), nil
+	log.Annotate("op", t.program.Name)
+	log.Annotate("strategy", t.strategy)
+	return log.WriteChromeTrace(w)
+}
+
+func (t *Tuned) timeline() (*trace.Log, exec.Result, error) {
+	binds, err := exec.BindVirtual(t.program)
+	if err != nil {
+		return nil, exec.Result{}, err
+	}
+	var log trace.Log
+	res, err := exec.Run(t.program, binds, exec.Options{Trace: &log})
+	if err != nil {
+		return nil, exec.Result{}, err
+	}
+	return &log, res, nil
 }
 
 // PrintIR renders the optimized intermediate representation.
