@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"swatop"
+	"swatop/internal/cliobs"
 )
 
 // metricsReg is the registry every tuning run records into; -metrics
@@ -38,8 +39,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  swatop gemm -m M -n N -k K [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json]
-  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json]`)
+  swatop gemm -m M -n N -k K [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json] [-listen addr]
+  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json] [-listen addr]`)
 	os.Exit(2)
 }
 
@@ -52,15 +53,20 @@ func gemmCmd(args []string) {
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
-	metricsOut, traceOut := observabilityFlags(fs)
+	obsFlags := cliobs.Register(fs,
+		"write the tuned schedule's execution timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
 	fallback, retries, deadline := resilienceFlags(fs)
 	_ = fs.Parse(args)
 
-	tuner := mustTuner(*workers, *fallback, *retries)
+	sess, err := obsFlags.Start("swatop", metricsReg)
+	check(err)
+	defer sess.Close()
+	tuner := mustTuner(sess, *workers, *fallback, *retries)
 	ctx, cancel := deadlineCtx(*deadline)
 	defer cancel()
+	stop := sess.StartProgress(os.Stderr)
 	tuned, err := tuner.TuneGemmCtx(ctx, swatop.GemmParams{M: *m, N: *n, K: *k})
-	finishProgress()
+	stop()
 	check(err)
 	base, err := swatop.BaselineGemmSeconds(swatop.GemmParams{M: *m, N: *n, K: *k})
 	check(err)
@@ -72,8 +78,8 @@ func gemmCmd(args []string) {
 		fmt.Println("\n--- execution timeline ---")
 		fmt.Print(tr)
 	}
-	writeChromeTrace(tuned, *traceOut)
-	writeMetrics(*metricsOut)
+	check(cliobs.WriteTrace(obsFlags.TraceOut, tuned.WriteChromeTrace))
+	check(sess.WriteMetrics(false))
 }
 
 func convCmd(args []string) {
@@ -88,16 +94,21 @@ func convCmd(args []string) {
 	showIR := fs.Bool("ir", false, "print the optimized IR")
 	showTrace := fs.Bool("trace", false, "print the execution timeline")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent tuning workers (result is worker-count independent)")
-	metricsOut, traceOut := observabilityFlags(fs)
+	obsFlags := cliobs.Register(fs,
+		"write the tuned schedule's execution timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
 	fallback, retries, deadline := resilienceFlags(fs)
 	_ = fs.Parse(args)
 
 	s := swatop.ConvShape{B: *b, Ni: *ni, No: *no, Ro: *r, Co: *r, Kr: *kk, Kc: *kk}
-	tuner := mustTuner(*workers, *fallback, *retries)
+	sess, err := obsFlags.Start("swatop", metricsReg)
+	check(err)
+	defer sess.Close()
+	tuner := mustTuner(sess, *workers, *fallback, *retries)
 	ctx, cancel := deadlineCtx(*deadline)
 	defer cancel()
+	stop := sess.StartProgress(os.Stderr)
 	tuned, err := tuner.TuneConvCtx(ctx, *method, s)
-	finishProgress()
+	stop()
 	check(err)
 	base, berr := swatop.BaselineConvSeconds(*method, s)
 	if berr != nil {
@@ -112,56 +123,8 @@ func convCmd(args []string) {
 		fmt.Println("\n--- execution timeline ---")
 		fmt.Print(tr)
 	}
-	writeChromeTrace(tuned, *traceOut)
-	writeMetrics(*metricsOut)
-}
-
-var progressShown bool
-
-// observabilityFlags registers the metrics/trace export flags shared by
-// both subcommands.
-func observabilityFlags(fs *flag.FlagSet) (metricsOut, traceOut *string) {
-	metricsOut = fs.String("metrics", "",
-		"write tuning metrics: '-' prints a table to stdout, anything else is a JSON file")
-	traceOut = fs.String("trace-out", "",
-		"write the tuned schedule's execution timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
-	return
-}
-
-// writeChromeTrace exports the tuned program's timeline for Perfetto.
-func writeChromeTrace(tuned *swatop.Tuned, path string) {
-	if path == "" {
-		return
-	}
-	f, err := os.Create(path)
-	check(err)
-	err = tuned.WriteChromeTrace(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	check(err)
-	fmt.Printf("chrome trace   : %s\n", path)
-}
-
-// writeMetrics reports the tuning-run metrics registry.
-func writeMetrics(out string) {
-	if out == "" {
-		return
-	}
-	snap := metricsReg.Snapshot()
-	if out == "-" {
-		fmt.Println("\n--- metrics ---")
-		fmt.Print(snap.Table())
-		return
-	}
-	f, err := os.Create(out)
-	check(err)
-	err = snap.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	check(err)
-	fmt.Printf("metrics        : %s\n", out)
+	check(cliobs.WriteTrace(obsFlags.TraceOut, tuned.WriteChromeTrace))
+	check(sess.WriteMetrics(false))
 }
 
 // resilienceFlags registers the failure-policy flags shared by both
@@ -183,7 +146,7 @@ func deadlineCtx(d time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), d)
 }
 
-func mustTuner(workers int, fallback bool, retries int) *swatop.Tuner {
+func mustTuner(sess *cliobs.Session, workers int, fallback bool, retries int) *swatop.Tuner {
 	t, err := swatop.NewTuner()
 	check(err)
 	t.SetWorkers(workers)
@@ -194,23 +157,8 @@ func mustTuner(workers int, fallback bool, retries int) *swatop.Tuner {
 		t.SetRetry(retries, 0, 0) // library defaults for base/max delay
 	}
 	t.SetMetrics(metricsReg)
-	t.SetProgressBest(func(done, valid int, best float64) {
-		progressShown = true
-		if best > 0 {
-			fmt.Fprintf(os.Stderr, "\rtuning: %d candidates (%d valid, best %.4g ms)", done, valid, best*1e3)
-		} else {
-			fmt.Fprintf(os.Stderr, "\rtuning: %d candidates (%d valid)", done, valid)
-		}
-	})
+	t.SetObserver(sess.Observer)
 	return t
-}
-
-// finishProgress terminates the in-place progress line before the report.
-func finishProgress() {
-	if progressShown {
-		fmt.Fprintln(os.Stderr)
-		progressShown = false
-	}
 }
 
 func reportTuned(tuned *swatop.Tuned, baseline float64, baseName string) {

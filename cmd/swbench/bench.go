@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"swatop"
+	"swatop/internal/bench"
+	"swatop/internal/cliobs"
+)
+
+// benchCmd implements -bench-out / -bench-against: it runs the canonical
+// performance workloads, optionally writes the snapshot, optionally
+// compares against a baseline file, and returns the process exit code.
+func benchCmd(sess *cliobs.Session, out, against string, tolerancePct float64, workers int) int {
+	snap, err := collectSnapshot(sess, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		return 1
+	}
+	if out != "" {
+		if err := snap.WriteFile(out); err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench snapshot: %s\n", out)
+	}
+	if against != "" {
+		base, err := bench.Load(against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			return 1
+		}
+		diff := bench.Compare(snap, base, tolerancePct)
+		fmt.Print(diff.String())
+		if !diff.OK() {
+			fmt.Fprintf(os.Stderr, "swbench: machine-seconds regression beyond %.2f%% tolerance: %v\n",
+				tolerancePct, diff.Regressions())
+			return 1
+		}
+		fmt.Printf("bench: no regression beyond %.2f%% tolerance\n", tolerancePct)
+	}
+	return 0
+}
+
+// collectSnapshot tunes the canonical workloads: the paper's headline
+// 2048^3 GEMM point and VGG16 batch-1 end-to-end inference. Machine
+// seconds are worker-count independent, so `workers` only affects the
+// recorded wall seconds.
+func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error) {
+	snap := &bench.Snapshot{
+		Schema:    bench.SchemaVersion,
+		Name:      "swatop-canonical",
+		GoVersion: runtime.Version(),
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	stop := sess.StartProgress(os.Stderr)
+	defer stop()
+
+	reg := swatop.NewMetricsRegistry()
+	tuner, err := swatop.NewTuner()
+	if err != nil {
+		return nil, err
+	}
+	tuner.SetWorkers(workers)
+	tuner.SetMetrics(reg)
+	tuner.SetObserver(sess.Observer)
+	start := time.Now()
+	tuned, err := tuner.TuneGemm(swatop.GemmParams{M: 2048, N: 2048, K: 2048})
+	if err != nil {
+		return nil, fmt.Errorf("bench gemm-2048: %w", err)
+	}
+	snap.Workloads = append(snap.Workloads, bench.Workload{
+		Name:           "gemm-2048",
+		MachineSeconds: tuned.Seconds(),
+		WallSeconds:    time.Since(start).Seconds(),
+		Candidates:     reg.Counter("autotune_candidates_total").Value(),
+		GFLOPS:         tuned.GFLOPS(),
+	})
+
+	reg = swatop.NewMetricsRegistry()
+	eng, err := swatop.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	eng.SetWorkers(workers)
+	eng.SetMetrics(reg)
+	eng.SetObserver(sess.Observer)
+	start = time.Now()
+	rep, err := eng.Infer("vgg16", 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench vgg16-b1: %w", err)
+	}
+	snap.Workloads = append(snap.Workloads, bench.Workload{
+		Name:           "vgg16-b1",
+		MachineSeconds: rep.Seconds,
+		WallSeconds:    time.Since(start).Seconds(),
+		Candidates:     reg.Counter("autotune_candidates_total").Value(),
+		GFLOPS:         rep.GFLOPS,
+	})
+	return snap, nil
+}

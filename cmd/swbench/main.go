@@ -4,7 +4,9 @@
 // Usage:
 //
 //	swbench [-full] [-csv] [-json] [-workers N] [-metrics -|file]
-//	        [-trace-out trace.json] [experiment ...]
+//	        [-trace-out trace.json] [-listen addr] [experiment ...]
+//	swbench -bench-out BENCH.json
+//	swbench -bench-against BENCH.json [-bench-tolerance pct]
 //
 // Experiments: substrate fig5 fig6 fig7 table1 fig8 table2 table3 fig9
 // fig10 fig11 (default: all). -full runs the complete parameter grids
@@ -12,7 +14,13 @@
 // in parallel; every reported number is identical for any worker count.
 // -metrics reports the session's cumulative tuning metrics; -trace-out
 // writes a host-side timeline (one span per experiment, wall time) in
-// Chrome trace-event JSON.
+// Chrome trace-event JSON; -listen serves live introspection while the
+// sweeps run.
+//
+// -bench-out / -bench-against skip the experiment tables and instead run
+// the canonical performance workloads (the 2048^3 GEMM point and VGG16
+// batch-1 inference), writing or gating on a machine-seconds snapshot —
+// the repo's performance trajectory record.
 package main
 
 import (
@@ -23,6 +31,8 @@ import (
 	"time"
 
 	"swatop/internal/autotune"
+	"swatop/internal/bench"
+	"swatop/internal/cliobs"
 	"swatop/internal/experiments"
 	"swatop/internal/metrics"
 	"swatop/internal/trace"
@@ -36,9 +46,13 @@ func main() {
 		"concurrent tuning workers (results are worker-count independent)")
 	retries := flag.Int("retries", 1,
 		"total attempts per candidate measurement for transient errors (reported numbers are retry-independent)")
-	metricsOut := flag.String("metrics", "",
-		"write cumulative tuning metrics: '-' prints a table (to stderr under -json/-csv), anything else is a JSON file")
-	traceOut := flag.String("trace-out", "",
+	benchOut := flag.String("bench-out", "",
+		"run the canonical performance workloads and write the snapshot JSON to this file")
+	benchAgainst := flag.String("bench-against", "",
+		"run the canonical performance workloads and compare against this snapshot file (exit 1 on regression)")
+	benchTolerance := flag.Float64("bench-tolerance", bench.DefaultTolerancePct,
+		"allowed machine-seconds regression in percent for -bench-against")
+	obsFlags := cliobs.Register(flag.CommandLine,
 		"write a host-side experiment timeline (wall time) as Chrome trace-event JSON")
 	flag.Parse()
 
@@ -54,6 +68,27 @@ func main() {
 	}
 	reg := metrics.NewRegistry()
 	runner.Metrics = reg
+	sess, err := obsFlags.Start("swbench", reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+	runner.Observer = sess.Observer
+
+	if *benchOut != "" || *benchAgainst != "" {
+		code := benchCmd(sess, *benchOut, *benchAgainst, *benchTolerance, *workers)
+		if err := sess.WriteMetrics(true); err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			code = 1
+		}
+		if code != 0 {
+			sess.Close()
+			os.Exit(code)
+		}
+		return
+	}
+
 	progress := false
 	runner.Progress = func(done, total int) {
 		progress = true
@@ -112,57 +147,12 @@ func main() {
 		fmt.Fprintf(out, "(%s finished in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
-	if *traceOut != "" {
-		if err := writeChromeTrace(hostLog, *traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "swbench:", err)
-			os.Exit(1)
-		}
+	if err := cliobs.WriteTrace(obsFlags.TraceOut, hostLog.WriteChromeTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		os.Exit(1)
 	}
-	if *metricsOut != "" {
-		if err := writeMetrics(reg.Snapshot(), *metricsOut, *jsonOut || *csv); err != nil {
-			fmt.Fprintln(os.Stderr, "swbench:", err)
-			os.Exit(1)
-		}
+	if err := sess.WriteMetrics(*jsonOut || *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		os.Exit(1)
 	}
-}
-
-func writeChromeTrace(log *trace.Log, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = log.WriteChromeTrace(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("write trace %s: %w", path, err)
-	}
-	fmt.Fprintf(os.Stderr, "chrome trace: %s\n", path)
-	return nil
-}
-
-func writeMetrics(snap metrics.Snapshot, out string, machineStdout bool) error {
-	if out == "-" {
-		w := os.Stdout
-		if machineStdout {
-			w = os.Stderr // keep stdout machine-parseable
-		}
-		fmt.Fprintln(w, "--- metrics ---")
-		fmt.Fprint(w, snap.Table())
-		return nil
-	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	err = snap.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("write metrics %s: %w", out, err)
-	}
-	fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
-	return nil
 }

@@ -9,7 +9,7 @@
 //
 //	swinfer [-net vgg16] [-batch 1,32,128] [-workers N] [-json]
 //	        [-lib schedules.json] [-fallback] [-verify] [-timeline]
-//	        [-metrics -|file] [-trace-out trace.json]
+//	        [-metrics -|file] [-trace-out trace.json] [-listen addr]
 //
 // The reported machine seconds are deterministic: identical for every
 // -workers value and identical between cached and freshly-tuned runs.
@@ -19,12 +19,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"swatop"
+	"swatop/internal/cliobs"
 	"swatop/internal/report"
 )
 
@@ -39,9 +41,7 @@ func main() {
 	verify := flag.Bool("verify", false, "functional execution: check every tuned layer against the reference oracle (slow)")
 	timeline := flag.Bool("timeline", false, "print the merged network timeline per batch size")
 	retries := flag.Int("retries", 1, "total attempts per candidate measurement for transient errors")
-	metricsOut := flag.String("metrics", "",
-		"write run metrics: '-' prints a table (to stderr under -json, so stdout stays parseable), anything else is a JSON file")
-	traceOut := flag.String("trace-out", "",
+	obsFlags := cliobs.Register(flag.CommandLine,
 		"write the network timeline as Chrome trace-event JSON (opens in ui.perfetto.dev); with several batch sizes each gets a -b<N> suffix")
 	flag.Parse()
 
@@ -75,28 +75,32 @@ func main() {
 		}
 		eng.UseLibrary(lib)
 	}
-	eng.SetProgress(func(node string, done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d layers scheduled (%s)   ", *net, done, total, node)
-	})
 	reg := swatop.NewMetricsRegistry()
-	if *metricsOut != "" {
-		eng.SetMetrics(reg)
+	eng.SetMetrics(reg)
+	sess, err := obsFlags.Start("swinfer", reg)
+	if err != nil {
+		fail(err)
 	}
+	defer sess.Close()
+	eng.SetObserver(sess.Observer)
 
 	var reports []*swatop.NetReport
 	for _, b := range sizes {
+		stop := sess.StartProgress(os.Stderr)
 		rep, err := eng.Infer(*net, b)
-		fmt.Fprintln(os.Stderr)
+		stop()
 		if err != nil {
 			fail(err)
 		}
 		reports = append(reports, rep)
-		if *traceOut != "" {
-			path := *traceOut
+		if obsFlags.TraceOut != "" {
+			path := obsFlags.TraceOut
 			if len(sizes) > 1 {
 				path = batchSuffixed(path, b)
 			}
-			if err := writeChromeTrace(rep, path); err != nil {
+			if err := cliobs.WriteTrace(path, func(w io.Writer) error {
+				return rep.WriteChromeTrace(w)
+			}); err != nil {
 				fail(err)
 			}
 		}
@@ -124,10 +128,8 @@ func main() {
 			fmt.Printf("--- %s batch %d timeline ---\n%s\n", rep.Net, rep.Batch, rep.Timeline())
 		}
 	}
-	if *metricsOut != "" {
-		if err := writeMetrics(reg.Snapshot(), *metricsOut, *jsonOut); err != nil {
-			fail(err)
-		}
+	if err := sess.WriteMetrics(*jsonOut); err != nil {
+		fail(err)
 	}
 }
 
@@ -182,47 +184,6 @@ func batchSuffixed(path string, batch int) string {
 		path, ext = path[:i], path[i:]
 	}
 	return fmt.Sprintf("%s-b%d%s", path, batch, ext)
-}
-
-func writeChromeTrace(rep *swatop.NetReport, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = rep.WriteChromeTrace(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("write trace %s: %w", path, err)
-	}
-	fmt.Fprintf(os.Stderr, "chrome trace: %s\n", path)
-	return nil
-}
-
-func writeMetrics(snap swatop.MetricsSnapshot, out string, jsonMode bool) error {
-	if out == "-" {
-		w := os.Stdout
-		if jsonMode {
-			w = os.Stderr // keep stdout machine-parseable
-		}
-		fmt.Fprintln(w, "--- metrics ---")
-		fmt.Fprint(w, snap.Table())
-		return nil
-	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	err = snap.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("write metrics %s: %w", out, err)
-	}
-	fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
-	return nil
 }
 
 func parseBatches(s string) ([]int, error) {

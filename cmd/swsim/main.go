@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	swsim [-metrics -|file] [-trace-out trace.json]
+//	swsim [-metrics -|file] [-trace-out trace.json] [-listen addr]
 //
 // -metrics publishes every characterization number as a gauge; -trace-out
 // writes the microbenchmarks as one synthetic machine timeline in Chrome
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"swatop/internal/cliobs"
 	"swatop/internal/metrics"
 	"swatop/internal/primitives"
 	"swatop/internal/sw26010"
@@ -25,13 +26,16 @@ import (
 )
 
 func main() {
-	metricsOut := flag.String("metrics", "",
-		"write characterization gauges: '-' prints a table to stdout, anything else is a JSON file")
-	traceOut := flag.String("trace-out", "",
+	obsFlags := cliobs.Register(flag.CommandLine,
 		"write the microbenchmark timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
+	sess, err := obsFlags.Start("swsim", reg)
+	if err != nil {
+		fail(err)
+	}
+	defer sess.Close()
 	log := &trace.Log{}
 	cursor := 0.0 // synthetic timeline position: benchmarks run back to back
 	span := func(kind trace.Kind, label string, seconds float64) {
@@ -82,53 +86,12 @@ func main() {
 		span(trace.KindGemm, fmt.Sprintf("%dx%dx%d", sz, sz, sz), t)
 	}
 
-	if *traceOut != "" {
-		if err := writeChromeTrace(log, *traceOut); err != nil {
-			fail(err)
-		}
+	if err := cliobs.WriteTrace(obsFlags.TraceOut, log.WriteChromeTrace); err != nil {
+		fail(err)
 	}
-	if *metricsOut != "" {
-		if err := writeMetrics(reg.Snapshot(), *metricsOut); err != nil {
-			fail(err)
-		}
+	if err := sess.WriteMetrics(false); err != nil {
+		fail(err)
 	}
-}
-
-func writeChromeTrace(log *trace.Log, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = log.WriteChromeTrace(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("write trace %s: %w", path, err)
-	}
-	fmt.Fprintf(os.Stderr, "chrome trace: %s\n", path)
-	return nil
-}
-
-func writeMetrics(snap metrics.Snapshot, out string) error {
-	if out == "-" {
-		fmt.Println("\n--- metrics ---")
-		fmt.Print(snap.Table())
-		return nil
-	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	err = snap.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("write metrics %s: %w", out, err)
-	}
-	fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
-	return nil
 }
 
 func fail(err error) {

@@ -30,6 +30,7 @@ type Engine struct {
 	tolerance   float64
 	progress    func(node string, done, total int)
 	metrics     *MetricsRegistry
+	observer    *Observer
 }
 
 // NewEngine fits the cost model (the per-machine offline calibration) and
@@ -89,6 +90,15 @@ func (e *Engine) SetProgress(fn func(node string, done, total int)) { e.progress
 // simulated-machine quantity, so snapshots are bit-identical across worker
 // counts.
 func (e *Engine) SetMetrics(reg *MetricsRegistry) { e.metrics = reg }
+
+// SetObserver attaches a structured-event observer: every run emits its
+// event log (net/layer/tuning events) into it and registers as a live
+// "infer" job in the observer's tracker. When a run fails or any layer
+// degrades to the baseline, the observer's flight recorder is dumped to
+// its configured sink. Passing nil detaches. Purely observational: the
+// resolved schedules and every metric are identical with and without an
+// observer.
+func (e *Engine) SetObserver(o *Observer) { e.observer = o }
 
 // LayerReport is one executed layer of a network run.
 type LayerReport struct {
@@ -182,9 +192,14 @@ func (e *Engine) InferCtx(ctx context.Context, net string, batch int) (*NetRepor
 		Tolerance:            e.tolerance,
 		Progress:             e.progress,
 		Metrics:              e.metrics,
+		Observer:             e.observer,
 	})
 	if err != nil {
+		e.observer.AutoDump("infer failed: " + net)
 		return nil, err
+	}
+	if res.DegradedOps > 0 {
+		e.observer.AutoDump("infer degraded: " + net)
 	}
 	rep := &NetReport{
 		Net:                  res.Net,

@@ -34,6 +34,7 @@ import (
 	"swatop/internal/faults"
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
+	"swatop/internal/obsrv"
 	"swatop/internal/schedule"
 )
 
@@ -129,6 +130,20 @@ type Options struct {
 	// simulated-machine-time ledger. It is also threaded into every
 	// measurement's exec.Options.
 	Metrics *metrics.Registry
+	// Observer, when non-nil, receives the structured event log of the
+	// search — tune.start/finish, candidate start/finish/retry/panic/failed
+	// with strategy and predicted/measured milliseconds, finalist runs —
+	// and registers the search as a live job in the observer's JobTracker
+	// (done/valid/failed/best-ms visible on /statusz while the search
+	// runs). Purely observational: attaching an observer changes neither
+	// the selected schedule nor any metric (the bit-identical-snapshots
+	// invariant is asserted by TestObserverInert).
+	Observer *obsrv.Observer
+
+	// job is the live job the public entry points register; internal so
+	// runPool's collector — the only place that knows the failed count —
+	// can update it without re-deriving state.
+	job *obsrv.Job
 }
 
 func (o Options) topK() int {
@@ -235,6 +250,10 @@ func evalOnce(op Operator, st dsl.Strategy, eval func(*Candidate) error) (c *Can
 // else stays fatal (the seed behaviour for e.g. cost-model failures).
 func evalCandidate(op Operator, idx int, st dsl.Strategy,
 	eval func(*Candidate) error, opts Options) (*Candidate, error) {
+	if opts.Observer.Enabled() {
+		opts.Observer.Emit(obsrv.LevelDebug, "candidate.start",
+			obsrv.F("index", idx), obsrv.F("strategy", st.String()))
+	}
 	for attempt := 1; ; attempt++ {
 		c, err, panicked := evalOnce(op, st, eval)
 		switch {
@@ -242,16 +261,23 @@ func evalCandidate(op Operator, idx int, st dsl.Strategy,
 			return c, nil // c may be nil: invalid point
 		case panicked:
 			opts.Metrics.Counter("autotune_candidates_failed_total").Inc()
+			opts.Observer.Emit(obsrv.LevelError, "candidate.panic",
+				obsrv.F("index", idx), obsrv.F("strategy", st.String()), obsrv.F("error", err))
 			return nil, &CandidateError{Index: idx, Strategy: st, Panicked: true, Err: err}
 		case faults.IsTransient(err):
 			if attempt < opts.Retry.attempts() {
 				d := opts.Retry.delay(attempt, idx)
 				opts.Metrics.Counter("autotune_retries_total").Inc()
 				opts.Metrics.Gauge("autotune_backoff_seconds").Add(d.Seconds())
+				opts.Observer.Emit(obsrv.LevelWarn, "candidate.retry",
+					obsrv.F("index", idx), obsrv.F("attempt", attempt),
+					obsrv.Ms("backoff_ms", d.Seconds()), obsrv.F("error", err))
 				time.Sleep(d)
 				continue
 			}
 			opts.Metrics.Counter("autotune_candidates_failed_total").Inc()
+			opts.Observer.Emit(obsrv.LevelWarn, "candidate.failed",
+				obsrv.F("index", idx), obsrv.F("strategy", st.String()), obsrv.F("error", err))
 			return nil, &CandidateError{Index: idx, Strategy: st, Err: err}
 		default:
 			return nil, err
@@ -273,23 +299,37 @@ func ModelBased(op Operator, model *costmodel.GemmModel) (Result, error) {
 // identical for any Workers value.
 func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel, opts Options) (Result, error) {
 	t0 := time.Now()
+	opts.job = opts.Observer.Jobs().Start("tune", op.Name())
+	opts.Observer.Emit(obsrv.LevelInfo, "tune.start", obsrv.F("op", op.Name()))
+	ok := false
+	defer func() {
+		if !ok {
+			opts.job.Finish(obsrv.JobFailed)
+		}
+	}()
 	k := opts.topK()
 	var top []ranked // ascending by (Predicted, idx), at most k
 	done, valid := 0, 0
-	sink := func(idx int, c *Candidate) {
+	sink := func(idx int, c *Candidate, failed int) {
 		done++
 		opts.Metrics.Counter("autotune_candidates_total").Inc()
+		best := 0.0
 		if c != nil {
 			valid++
 			opts.Metrics.Counter("autotune_candidates_valid_total").Inc()
 			top = insertRanked(top, ranked{c: c, idx: idx}, k)
 			opts.Metrics.Gauge("autotune_best_predicted_seconds").Set(top[0].c.Predicted)
 		}
+		if len(top) > 0 {
+			best = top[0].c.Predicted
+		}
+		if c != nil && opts.Observer.Enabled() {
+			opts.Observer.Emit(obsrv.LevelDebug, "candidate.finish",
+				obsrv.F("index", idx), obsrv.F("strategy", c.Strategy.String()),
+				obsrv.Ms("predicted_ms", c.Predicted))
+		}
+		opts.job.Progress(done, valid, failed, best*1e3)
 		if opts.Progress != nil {
-			best := 0.0
-			if len(top) > 0 {
-				best = top[0].c.Predicted
-			}
 			opts.Progress(done, valid, best)
 		}
 	}
@@ -305,14 +345,20 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 	searchWall := time.Since(t0).Seconds()
 	opts.Metrics.Gauge("autotune_search_wall_seconds").Add(searchWall)
 	if err != nil {
+		opts.Observer.Emit(obsrv.LevelError, "tune.fail",
+			obsrv.F("op", op.Name()), obsrv.F("error", err))
 		return Result{}, err
 	}
 	res := Result{SpaceSize: spaceSize, Valid: valid, FailedCandidates: failed}
 	if len(top) == 0 {
-		return Result{}, fmt.Errorf("autotune %s: no valid schedule in space of %d (%d candidates failed)",
+		err := fmt.Errorf("autotune %s: no valid schedule in space of %d (%d candidates failed)",
 			op.Name(), spaceSize, failed)
+		opts.Observer.Emit(obsrv.LevelError, "tune.fail",
+			obsrv.F("op", op.Name()), obsrv.F("error", err))
+		return Result{}, err
 	}
 	tFinal := time.Now()
+	opts.job.SetDetail("finalists")
 	// The k finalists are emitted into one binary and measured in a single
 	// batch job: one compile+launch, k short runs. Each run goes through
 	// the same panic-isolation + retry policy as the search: a finalist
@@ -320,7 +366,7 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 	// is an error.
 	res.MachineSeconds = CompileLaunchOverheadSeconds
 	runEval := func(c *Candidate) error {
-		secs, err := runTimed(c.Program, opts.Faults, opts.Metrics)
+		secs, err := runTimed(c.Program, opts.Faults, opts.Metrics, opts.Observer)
 		if err != nil {
 			return err
 		}
@@ -336,7 +382,10 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 				res.FailedCandidates++
 				continue
 			}
-			return Result{}, fmt.Errorf("autotune %s: candidate failed to run: %w", op.Name(), err)
+			err = fmt.Errorf("autotune %s: candidate failed to run: %w", op.Name(), err)
+			opts.Observer.Emit(obsrv.LevelError, "tune.fail",
+				obsrv.F("op", op.Name()), obsrv.F("error", err))
+			return Result{}, err
 		}
 		if c == nil {
 			// Compiled during the search but not for the final run — a
@@ -346,18 +395,37 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 		}
 		c.Predicted = r.c.Predicted
 		res.MachineSeconds += c.Measured
+		if opts.Observer.Enabled() {
+			opts.Observer.Emit(obsrv.LevelInfo, "finalist.run",
+				obsrv.F("index", r.idx), obsrv.F("strategy", c.Strategy.String()),
+				obsrv.Ms("predicted_ms", c.Predicted), obsrv.Ms("measured_ms", c.Measured))
+		}
 		if best == nil || c.Measured < best.Measured {
 			best = c
 		}
 	}
 	if best == nil {
-		return Result{}, fmt.Errorf("autotune %s: all %d finalists failed to run", op.Name(), len(top))
+		err := fmt.Errorf("autotune %s: all %d finalists failed to run", op.Name(), len(top))
+		opts.Observer.Emit(obsrv.LevelError, "tune.fail",
+			obsrv.F("op", op.Name()), obsrv.F("error", err))
+		return Result{}, err
 	}
 	res.Best = *best
 	res.WallSeconds = time.Since(t0).Seconds()
 	opts.Metrics.Gauge("autotune_finalist_wall_seconds").Add(time.Since(tFinal).Seconds())
 	opts.Metrics.Gauge("autotune_best_measured_seconds").Set(best.Measured)
 	opts.Metrics.Gauge("autotune_machine_seconds").Add(res.MachineSeconds)
+	if opts.Observer.Enabled() {
+		opts.Observer.Emit(obsrv.LevelInfo, "tune.finish",
+			obsrv.F("op", op.Name()), obsrv.F("valid", res.Valid),
+			obsrv.F("failed", res.FailedCandidates),
+			obsrv.F("strategy", best.Strategy.String()),
+			obsrv.Ms("best_ms", best.Measured),
+			obsrv.F("machine_seconds", res.MachineSeconds))
+	}
+	opts.job.Progress(done, valid, res.FailedCandidates, best.Measured*1e3)
+	opts.job.Finish(obsrv.JobDone)
+	ok = true
 	return res, nil
 }
 
@@ -372,6 +440,16 @@ func BlackBox(op Operator) (Result, error) {
 // index order, so both are identical for any Workers value.
 func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error) {
 	t0 := time.Now()
+	opts.job = opts.Observer.Jobs().Start("tune", op.Name())
+	opts.job.SetDetail("blackbox")
+	opts.Observer.Emit(obsrv.LevelInfo, "tune.start",
+		obsrv.F("op", op.Name()), obsrv.F("mode", "blackbox"))
+	okDone := false
+	defer func() {
+		if !okDone {
+			opts.job.Finish(obsrv.JobFailed)
+		}
+	}()
 	type run struct {
 		idx  int
 		secs float64
@@ -379,7 +457,7 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 	var runs []run
 	var best ranked
 	done := 0
-	sink := func(idx int, c *Candidate) {
+	sink := func(idx int, c *Candidate, failed int) {
 		done++
 		opts.Metrics.Counter("autotune_candidates_total").Inc()
 		if c != nil {
@@ -391,16 +469,22 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 			}
 			opts.Metrics.Gauge("autotune_best_measured_seconds").Set(best.c.Measured)
 		}
+		b := 0.0
+		if best.c != nil {
+			b = best.c.Measured
+		}
+		if c != nil && opts.Observer.Enabled() {
+			opts.Observer.Emit(obsrv.LevelDebug, "candidate.finish",
+				obsrv.F("index", idx), obsrv.F("strategy", c.Strategy.String()),
+				obsrv.Ms("measured_ms", c.Measured))
+		}
+		opts.job.Progress(done, len(runs), failed, b*1e3)
 		if opts.Progress != nil {
-			b := 0.0
-			if best.c != nil {
-				b = best.c.Measured
-			}
 			opts.Progress(done, len(runs), b)
 		}
 	}
 	eval := func(c *Candidate) error {
-		secs, err := runTimed(c.Program, opts.Faults, opts.Metrics)
+		secs, err := runTimed(c.Program, opts.Faults, opts.Metrics, opts.Observer)
 		if err != nil {
 			// %w keeps the transient mark visible to the retry policy.
 			return fmt.Errorf("%s: %w", c.Strategy, err)
@@ -410,10 +494,16 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 	}
 	spaceSize, failed, err := runPool(ctx, op, opts, eval, sink)
 	if err != nil {
-		return Result{}, fmt.Errorf("blackbox %s: %w", op.Name(), err)
+		err = fmt.Errorf("blackbox %s: %w", op.Name(), err)
+		opts.Observer.Emit(obsrv.LevelError, "tune.fail",
+			obsrv.F("op", op.Name()), obsrv.F("error", err))
+		return Result{}, err
 	}
 	if best.c == nil {
-		return Result{}, fmt.Errorf("blackbox %s: no valid schedule (%d candidates failed)", op.Name(), failed)
+		err := fmt.Errorf("blackbox %s: no valid schedule (%d candidates failed)", op.Name(), failed)
+		opts.Observer.Emit(obsrv.LevelError, "tune.fail",
+			obsrv.F("op", op.Name()), obsrv.F("error", err))
+		return Result{}, err
 	}
 	res := Result{SpaceSize: spaceSize, Valid: len(runs), FailedCandidates: failed}
 	// Sum the ledger in enumeration order: float addition is not
@@ -426,6 +516,17 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 	res.WallSeconds = time.Since(t0).Seconds()
 	opts.Metrics.Gauge("autotune_search_wall_seconds").Add(res.WallSeconds)
 	opts.Metrics.Gauge("autotune_machine_seconds").Add(res.MachineSeconds)
+	if opts.Observer.Enabled() {
+		opts.Observer.Emit(obsrv.LevelInfo, "tune.finish",
+			obsrv.F("op", op.Name()), obsrv.F("mode", "blackbox"),
+			obsrv.F("valid", res.Valid), obsrv.F("failed", res.FailedCandidates),
+			obsrv.F("strategy", res.Best.Strategy.String()),
+			obsrv.Ms("best_ms", res.Best.Measured),
+			obsrv.F("machine_seconds", res.MachineSeconds))
+	}
+	opts.job.Progress(done, res.Valid, res.FailedCandidates, res.Best.Measured*1e3)
+	opts.job.Finish(obsrv.JobDone)
+	okDone = true
 	return res, nil
 }
 
@@ -474,7 +575,7 @@ type poolResult struct {
 // number of enumerated points, the number of failed candidates, and the
 // first (lowest-index) fatal error, if any.
 func runPool(ctx context.Context, op Operator, opts Options,
-	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, int, error) {
+	eval func(c *Candidate) error, sink func(idx int, c *Candidate, failed int)) (int, int, error) {
 	if opts.Workers < 2 {
 		return runSequential(ctx, op, opts, eval, sink)
 	}
@@ -551,7 +652,7 @@ func runPool(ctx context.Context, op Operator, opts Options,
 					continue
 				}
 				if firstErr == nil {
-					sink(r.idx, nil)
+					sink(r.idx, nil, failed)
 				}
 				continue
 			}
@@ -559,7 +660,7 @@ func runPool(ctx context.Context, op Operator, opts Options,
 			continue
 		}
 		if firstErr == nil {
-			sink(r.idx, r.cand)
+			sink(r.idx, r.cand, failed)
 		}
 	}
 	<-prodDone
@@ -579,7 +680,7 @@ func runPool(ctx context.Context, op Operator, opts Options,
 // evaluating in place. The reference behaviour every worker count must
 // reproduce, including the failure policy.
 func runSequential(ctx context.Context, op Operator, opts Options,
-	eval func(c *Candidate) error, sink func(idx int, c *Candidate)) (int, int, error) {
+	eval func(c *Candidate) error, sink func(idx int, c *Candidate, failed int)) (int, int, error) {
 	total, failed := 0, 0
 	var fatalErr error
 	err := schedule.Stream(op.Seed(), op.Space(), func(idx int, st dsl.Strategy) bool {
@@ -597,13 +698,13 @@ func runSequential(ctx context.Context, op Operator, opts Options,
 						failed, opts.MaxCandidateFailures, err)
 					return false
 				}
-				sink(idx, nil)
+				sink(idx, nil, failed)
 				return true
 			}
 			fatalErr = err
 			return false
 		}
-		sink(idx, c) // c is nil for an invalid point (capacity, layout rules, ...)
+		sink(idx, c, failed) // c is nil for an invalid point (capacity, layout rules, ...)
 		return true
 	})
 	if err != nil {
@@ -618,12 +719,15 @@ func runSequential(ctx context.Context, op Operator, opts Options,
 	return total, failed, nil
 }
 
-func runTimed(prog *ir.Program, inj *faults.Injector, reg *metrics.Registry) (float64, error) {
+func runTimed(prog *ir.Program, inj *faults.Injector, reg *metrics.Registry, obs *obsrv.Observer) (float64, error) {
 	binds, err := exec.BindVirtual(prog)
 	if err != nil {
 		return 0, err
 	}
-	r, err := exec.Run(prog, binds, exec.Options{Functional: false, FastLoops: true, Faults: inj, Metrics: reg})
+	r, err := exec.Run(prog, binds, exec.Options{
+		Functional: false, FastLoops: true,
+		Faults: inj, Metrics: reg, Observer: obs,
+	})
 	if err != nil {
 		return 0, err
 	}

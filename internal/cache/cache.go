@@ -21,6 +21,7 @@ import (
 	"swatop/internal/faults"
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
+	"swatop/internal/obsrv"
 )
 
 // SchemaVersion is the on-disk library format version. Files written by
@@ -115,10 +116,11 @@ func (e Entry) Validate() error {
 
 // Library is a concurrency-safe schedule cache.
 type Library struct {
-	mu      sync.RWMutex
-	entries map[string]Entry
-	faults  *faults.Injector
-	metrics *metrics.Registry
+	mu       sync.RWMutex
+	entries  map[string]Entry
+	faults   *faults.Injector
+	metrics  *metrics.Registry
+	observer *obsrv.Observer
 }
 
 // SetFaults attaches a fault injector consulted at the persistence
@@ -137,12 +139,28 @@ func (l *Library) SetMetrics(reg *metrics.Registry) {
 	l.metrics = reg
 }
 
+// SetObserver attaches a structured-event observer: hits, misses, stores,
+// commits and quarantines become cache.* events (nil detaches). Events are
+// observational only and never change admission decisions.
+func (l *Library) SetObserver(o *obsrv.Observer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = o
+}
+
 // reg returns the attached registry (nil-safe: a nil registry's metrics
 // are inert).
 func (l *Library) reg() *metrics.Registry {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.metrics
+}
+
+// obs returns the attached observer (nil-safe: a nil observer is inert).
+func (l *Library) obs() *obsrv.Observer {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.observer
 }
 
 // NewLibrary creates an empty library.
@@ -160,6 +178,13 @@ func (l *Library) Get(signature string) (Entry, bool) {
 	} else {
 		l.metrics.Counter("cache_misses_total").Inc()
 	}
+	if l.observer.Enabled() {
+		kind := "cache.miss"
+		if ok {
+			kind = "cache.hit"
+		}
+		l.observer.Emit(obsrv.LevelDebug, kind, obsrv.F("signature", signature))
+	}
 	return e, ok
 }
 
@@ -172,6 +197,10 @@ func (l *Library) Put(e Entry) {
 		return
 	}
 	l.entries[e.Signature] = e
+	if l.observer.Enabled() {
+		l.observer.Emit(obsrv.LevelDebug, "cache.put",
+			obsrv.F("signature", e.Signature), obsrv.Ms("seconds_ms", e.SimulatedSeconds))
+	}
 }
 
 // Delete removes a cached schedule (e.g. a stale entry whose strategy no
@@ -182,6 +211,7 @@ func (l *Library) Delete(signature string) bool {
 	_, ok := l.entries[signature]
 	if ok {
 		l.metrics.Counter("cache_deletes_total").Inc()
+		l.observer.Emit(obsrv.LevelDebug, "cache.delete", obsrv.F("signature", signature))
 	}
 	delete(l.entries, signature)
 	return ok
@@ -217,8 +247,12 @@ func (l *Library) Save(path string) error {
 	err := l.save(path)
 	if err != nil {
 		l.reg().Counter("cache_commit_failures_total").Inc()
+		l.obs().Emit(obsrv.LevelError, "cache.commit.fail",
+			obsrv.F("path", path), obsrv.F("error", err))
 	} else {
 		l.reg().Counter("cache_commits_total").Inc()
+		l.obs().Emit(obsrv.LevelInfo, "cache.commit",
+			obsrv.F("path", path), obsrv.F("entries", l.Len()))
 	}
 	return err
 }
@@ -319,6 +353,16 @@ func (l *Library) LoadWithReport(path string) (LoadReport, error) {
 	reg := l.reg()
 	reg.Counter("cache_loaded_entries_total").Add(int64(rep.Loaded))
 	reg.Counter("cache_quarantined_total").Add(int64(len(rep.Quarantined)))
+	if obs := l.obs(); obs.Enabled() {
+		obs.Emit(obsrv.LevelInfo, "cache.load",
+			obsrv.F("path", path), obsrv.F("loaded", rep.Loaded),
+			obsrv.F("quarantined", len(rep.Quarantined)))
+		for _, q := range rep.Quarantined {
+			obs.Emit(obsrv.LevelWarn, "cache.quarantine",
+				obsrv.F("path", path), obsrv.F("index", q.Index),
+				obsrv.F("signature", q.Signature), obsrv.F("reason", q.Reason))
+		}
+	}
 	return rep, err
 }
 

@@ -1,0 +1,262 @@
+// Package cliobs is the shared observability plumbing of the four CLIs
+// (swatop, swbench, swinfer, swsim): one place registering the -metrics,
+// -trace-out, -listen and -flight-out flags, starting the embedded
+// introspection server, arming the SIGQUIT flight-dump handler and
+// rendering live progress lines from the observer's job tracker. Adding a
+// new observability surface means touching this package once, not four
+// main functions.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"swatop/internal/metrics"
+	"swatop/internal/obsrv"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	// Metrics selects metrics reporting: "" none, "-" a table on stdout
+	// (stderr when the caller keeps stdout machine-parseable), anything
+	// else a JSON file.
+	Metrics string
+	// TraceOut is the Chrome trace-event JSON output path ("" = none).
+	TraceOut string
+	// Listen is the introspection server bind address ("" = no server).
+	Listen string
+	// FlightOut is where automatic flight-recorder dumps go ("" = stderr).
+	FlightOut string
+}
+
+// Register adds the shared observability flags to fs. traceHelp describes
+// what -trace-out writes for this command (each CLI exports a different
+// timeline).
+func Register(fs *flag.FlagSet, traceHelp string) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "",
+		"write run metrics: '-' prints a table, anything else is a JSON file")
+	fs.StringVar(&f.TraceOut, "trace-out", "", traceHelp)
+	fs.StringVar(&f.Listen, "listen", "",
+		"serve live introspection on this address (/metrics, /statusz, /events, /debug/pprof/); ':0' picks a port")
+	fs.StringVar(&f.FlightOut, "flight-out", "",
+		"write automatic flight-recorder dumps (tune failure, fallback, SIGQUIT) to this file instead of stderr")
+	return f
+}
+
+// Session is one CLI process's observability state: the observer every
+// facade component reports into, the optional introspection server, and
+// the flight-dump plumbing.
+type Session struct {
+	Observer *obsrv.Observer
+	Registry *metrics.Registry
+
+	component string
+	flags     *Flags
+	server    *obsrv.Server
+	flightF   *os.File
+	sigCh     chan os.Signal
+}
+
+// Start builds the session from parsed flags: it creates the observer,
+// wires the flight sink (FlightOut file, stderr otherwise), starts the
+// introspection server when -listen was given (printing the bound address
+// to stderr), and arms the SIGQUIT flight-dump handler. reg is the
+// registry the command records into; it is what /metrics serves.
+func (f *Flags) Start(component string, reg *metrics.Registry) (*Session, error) {
+	s := &Session{
+		Observer:  obsrv.New(),
+		Registry:  reg,
+		component: component,
+		flags:     f,
+	}
+	if f.FlightOut != "" {
+		file, err := os.Create(f.FlightOut)
+		if err != nil {
+			return nil, fmt.Errorf("%s: flight sink: %w", component, err)
+		}
+		s.flightF = file
+		s.Observer.SetFlightSink(file)
+	} else {
+		s.Observer.SetFlightSink(os.Stderr)
+	}
+	if f.Listen != "" {
+		s.server = obsrv.NewServer(component, s.Observer, reg)
+		addr, err := s.server.Start(f.Listen)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/\n", hostAddr(addr))
+	}
+	// SIGQUIT dumps the flight recorder before exiting — the unattended-
+	// session post-mortem trigger ("what was it doing?" without a debugger).
+	// The goroutine ranges over a local so Close clearing s.sigCh races
+	// with nothing.
+	sigCh := make(chan os.Signal, 1)
+	s.sigCh = sigCh
+	signal.Notify(sigCh, syscall.SIGQUIT)
+	go func() {
+		for range sigCh {
+			s.Observer.AutoDump("SIGQUIT")
+			os.Exit(2)
+		}
+	}()
+	return s, nil
+}
+
+// hostAddr rewrites a wildcard listen address ("[::]:8080") to a
+// dialable localhost form for the printed hint.
+func hostAddr(addr string) string {
+	if rest, ok := strings.CutPrefix(addr, "[::]"); ok {
+		return "localhost" + rest
+	}
+	if rest, ok := strings.CutPrefix(addr, "0.0.0.0"); ok {
+		return "localhost" + rest
+	}
+	return addr
+}
+
+// Close stops the introspection server, disarms the signal handler and
+// closes the flight-dump file. Safe on a nil session.
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	if s.sigCh != nil {
+		signal.Stop(s.sigCh)
+		close(s.sigCh)
+		s.sigCh = nil
+	}
+	if s.server != nil {
+		_ = s.server.Close()
+		s.server = nil
+	}
+	if s.flightF != nil {
+		s.Observer.SetFlightSink(nil)
+		_ = s.flightF.Close()
+		s.flightF = nil
+	}
+}
+
+// StartProgress renders a live single-line view of the observer's running
+// jobs to w (normally os.Stderr) at ~10 Hz, replacing the per-command
+// Progress callback plumbing. The returned stop function halts the ticker
+// and terminates the line; call it before printing the report.
+func (s *Session) StartProgress(w io.Writer) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		shown := false
+		for {
+			select {
+			case <-done:
+				if shown {
+					fmt.Fprintln(w)
+				}
+				return
+			case <-tick.C:
+				if line := progressLine(s.Observer.Jobs()); line != "" {
+					// Pad the rewrite so a shrinking line leaves no tail.
+					fmt.Fprintf(w, "\r%-79s", line)
+					shown = true
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// progressLine summarizes the most recent running job ("" when idle).
+func progressLine(jobs *obsrv.JobTracker) string {
+	running := jobs.Running()
+	if len(running) == 0 {
+		return ""
+	}
+	j := running[len(running)-1]
+	switch j.Kind {
+	case "infer":
+		line := fmt.Sprintf("%s: %d/%d layers scheduled", j.Name, j.Done, j.Total)
+		if j.Detail != "" {
+			line += " (" + j.Detail + ")"
+		}
+		return line
+	default:
+		line := fmt.Sprintf("tuning %s: %d candidates (%d valid", j.Name, j.Done, j.Valid)
+		if j.Failed > 0 {
+			line += fmt.Sprintf(", %d failed", j.Failed)
+		}
+		if j.BestMs > 0 {
+			line += fmt.Sprintf(", best %.4g ms", j.BestMs)
+		}
+		return line + ")"
+	}
+}
+
+// WriteMetrics reports a metrics snapshot per the -metrics flag value:
+// "" does nothing, "-" prints a table to stdout (stderr when
+// machineStdout says stdout must stay parseable), anything else writes
+// JSON to that file.
+func (s *Session) WriteMetrics(machineStdout bool) error {
+	out := s.flags.Metrics
+	if out == "" {
+		return nil
+	}
+	snap := s.Registry.Snapshot()
+	if out == "-" {
+		w := os.Stdout
+		if machineStdout {
+			w = os.Stderr
+		}
+		fmt.Fprintln(w, "--- metrics ---")
+		fmt.Fprint(w, snap.Table())
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	err = snap.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write metrics %s: %w", out, err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
+	return nil
+}
+
+// WriteTrace writes a Chrome trace-event JSON file through the caller's
+// export function ("" path does nothing), printing the path to stderr.
+// The write closure lets each CLI export its own timeline type.
+func WriteTrace(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "chrome trace: %s\n", path)
+	return nil
+}

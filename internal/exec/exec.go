@@ -17,6 +17,7 @@ import (
 	"swatop/internal/faults"
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
+	"swatop/internal/obsrv"
 	"swatop/internal/primitives"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
@@ -55,6 +56,10 @@ type Options struct {
 	// latency histogram and the exec_machine_seconds accumulator). All
 	// values are simulated-clock quantities, so they are deterministic.
 	Metrics *metrics.Registry
+	// Observer, when non-nil, receives structured run events (exec.run /
+	// exec.fail / exec.fault). Events are observational only: they never
+	// influence timing or results.
+	Observer *obsrv.Observer
 }
 
 // fastLoopThreshold is the minimum extent for fast-forwarding: iterations
@@ -96,10 +101,17 @@ func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, e
 	res, err := runProgram(p, binds, opt)
 	if err != nil {
 		opt.Metrics.Counter("exec_run_failures_total").Inc()
+		opt.Observer.Emit(obsrv.LevelWarn, "exec.fail",
+			obsrv.F("program", p.Name), obsrv.F("error", err))
 		return res, err
 	}
 	opt.Metrics.Histogram("exec_run_seconds", metrics.TimeBuckets...).Observe(res.Seconds)
 	opt.Metrics.Gauge("exec_machine_seconds").Add(res.Seconds)
+	if opt.Observer.Enabled() {
+		opt.Observer.Emit(obsrv.LevelDebug, "exec.run",
+			obsrv.F("program", p.Name), obsrv.Ms("seconds_ms", res.Seconds),
+			obsrv.F("functional", opt.Functional))
+	}
 	return res, nil
 }
 
@@ -107,6 +119,9 @@ func runProgram(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Re
 	// The measurement-level injection point: a fired fault rejects the run
 	// before the machine starts, like a batch job lost to a flaky node.
 	if err := opt.Faults.Fire(faults.Measure); err != nil {
+		opt.Observer.Emit(obsrv.LevelWarn, "exec.fault",
+			obsrv.F("program", p.Name), obsrv.F("point", "measure"),
+			obsrv.F("error", err))
 		return Result{}, fmt.Errorf("exec %s: measurement failed: %w", p.Name, err)
 	}
 	st := &state{

@@ -16,6 +16,7 @@ import (
 	"swatop/internal/gemm"
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
+	"swatop/internal/obsrv"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 )
@@ -52,6 +53,10 @@ type Runner struct {
 	// seconds). Purely observational: attaching a registry changes no
 	// reported number.
 	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every tuning run's structured event
+	// log and registers each search in the observer's JobTracker. Like
+	// Metrics, purely observational.
+	Observer *obsrv.Observer
 
 	mu         sync.Mutex // guards the lazily built sweep caches
 	progressMu sync.Mutex // serializes Progress callbacks
@@ -96,7 +101,8 @@ func (r *Runner) tuneConv(ctx context.Context, method string, s conv.Shape, work
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry, Metrics: r.Metrics})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{
+		Workers: workers, Retry: r.Retry, Metrics: r.Metrics, Observer: r.Observer})
 	if err != nil {
 		return autotune.Result{}, err
 	}
@@ -132,7 +138,8 @@ func (r *Runner) tuneGemm(ctx context.Context, p gemm.Params, workers int) (auto
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{Workers: workers, Retry: r.Retry, Metrics: r.Metrics})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{
+		Workers: workers, Retry: r.Retry, Metrics: r.Metrics, Observer: r.Observer})
 	if err != nil {
 		return autotune.Result{}, err
 	}

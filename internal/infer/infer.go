@@ -25,6 +25,7 @@ import (
 	"swatop/internal/graph"
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
+	"swatop/internal/obsrv"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 	"swatop/internal/trace"
@@ -95,6 +96,17 @@ type Options struct {
 	// simulated-machine quantity, so snapshots are bit-identical across
 	// Workers values.
 	Metrics *metrics.Registry
+	// Observer, when non-nil, receives the run's structured event log
+	// (net.start/finish, per-layer resolution and execution, degradations)
+	// and registers the run as a live "infer" job in the observer's
+	// JobTracker. It is threaded into tuning, node execution and the
+	// library. Purely observational: resolved schedules and every metric
+	// are identical with and without an observer attached.
+	Observer *obsrv.Observer
+
+	// job is the live job Run registers; internal so resolveAll can update
+	// progress without re-deriving state.
+	job *obsrv.Job
 }
 
 // Layer is one executed node of the network.
@@ -190,10 +202,26 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	if opts.Library != nil && opts.Metrics != nil {
 		opts.Library.SetMetrics(opts.Metrics)
 	}
+	if opts.Library != nil && opts.Observer != nil {
+		opts.Library.SetObserver(opts.Observer)
+	}
+	opts.job = opts.Observer.Jobs().Start("infer", g.Name)
+	opts.Observer.Emit(obsrv.LevelInfo, "net.start",
+		obsrv.F("net", g.Name), obsrv.F("batch", g.Batch),
+		obsrv.F("nodes", len(g.Topo())))
+	okDone := false
+	defer func() {
+		if !okDone {
+			opts.job.Finish(obsrv.JobFailed)
+		}
+	}()
 	resolved, err := e.resolveAll(ctx, g, opts)
 	if err != nil {
+		opts.Observer.Emit(obsrv.LevelError, "net.fail",
+			obsrv.F("net", g.Name), obsrv.F("error", err))
 		return nil, err
 	}
+	opts.job.SetDetail("executing")
 	plan := planBuffers(g)
 	ts, err := allocTensors(g, resolved, plan, opts.Functional)
 	if err != nil {
@@ -226,6 +254,7 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 				Trace:      nodeLog,
 				Machine:    m,
 				Metrics:    opts.Metrics,
+				Observer:   opts.Observer,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
@@ -302,6 +331,11 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 			layer.BaselineSeconds = baselineSeconds(n, layer.Seconds, baseMemo)
 			res.BaselineSeconds += layer.BaselineSeconds
 		}
+		if opts.Observer.Enabled() {
+			opts.Observer.Emit(obsrv.LevelDebug, "layer.run",
+				obsrv.F("node", n.Name), obsrv.F("kind", string(n.Kind)),
+				obsrv.Ms("seconds_ms", layer.Seconds))
+		}
 		res.Layers = append(res.Layers, layer)
 	}
 
@@ -323,6 +357,19 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	if opts.Functional {
 		res.Output = ts[g.Output]
 	}
+	if opts.Observer.Enabled() {
+		opts.Observer.Emit(obsrv.LevelInfo, "net.finish",
+			obsrv.F("net", g.Name), obsrv.Ms("seconds_ms", res.Seconds),
+			obsrv.F("gflops", res.GFLOPS()), obsrv.F("speedup", res.Speedup),
+			obsrv.F("tuned", res.TunedOps), obsrv.F("cached", res.CachedOps),
+			obsrv.F("degraded", res.DegradedOps))
+	}
+	state := obsrv.JobDone
+	if res.DegradedOps > 0 {
+		state = obsrv.JobDegraded
+	}
+	opts.job.Finish(state)
+	okDone = true
 	return res, nil
 }
 
@@ -332,9 +379,11 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 func (e *Engine) resolveAll(ctx context.Context, g *graph.Graph, opts Options) (map[string]*resolvedOp, error) {
 	nodes := g.Topo()
 	total := g.CountKind(graph.Conv) + g.CountKind(graph.Gemm)
+	opts.job.SetTotal(total)
 	memo := map[string]*resolvedOp{}
 	out := map[string]*resolvedOp{}
 	done := 0
+	degraded := 0
 	for _, n := range nodes {
 		if n.Kind != graph.Conv && n.Kind != graph.Gemm {
 			continue
@@ -348,6 +397,7 @@ func (e *Engine) resolveAll(ctx context.Context, g *graph.Graph, opts Options) (
 		} else {
 			key = "gemm:" + n.Gemm.String()
 		}
+		opts.job.SetDetail("resolving " + n.Name)
 		r, ok := memo[key]
 		if !ok {
 			var err error
@@ -363,6 +413,16 @@ func (e *Engine) resolveAll(ctx context.Context, g *graph.Graph, opts Options) (
 		}
 		out[n.Name] = r
 		done++
+		if r.degraded {
+			degraded++
+			opts.Observer.Emit(obsrv.LevelWarn, "layer.degraded",
+				obsrv.F("node", n.Name), obsrv.F("strategy", r.strategy))
+		} else if opts.Observer.Enabled() {
+			opts.Observer.Emit(obsrv.LevelInfo, "layer.resolved",
+				obsrv.F("node", n.Name), obsrv.F("cached", r.cached),
+				obsrv.F("method", r.method), obsrv.F("strategy", r.strategy))
+		}
+		opts.job.Progress(done, done-degraded, degraded, 0)
 		if opts.Progress != nil {
 			opts.Progress(n.Name, done, total)
 		}
@@ -500,6 +560,7 @@ func (e *Engine) resolveOp(ctx context.Context, op autotune.Operator, opts Optio
 		Retry:                opts.Retry,
 		MaxCandidateFailures: opts.MaxCandidateFailures,
 		Metrics:              opts.Metrics,
+		Observer:             opts.Observer,
 	})
 	if err != nil {
 		return nil, err

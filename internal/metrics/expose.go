@@ -26,6 +26,10 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Help carries per-metric exposition help text (SetHelp overrides).
+	// Excluded from JSON: it is descriptive, not measured data, and would
+	// bloat every NetReport document.
+	Help map[string]string `json:"-"`
 }
 
 // Snapshot copies the registry's current values. Nil-safe: a nil registry
@@ -37,6 +41,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if len(r.help) > 0 {
+		s.Help = make(map[string]string, len(r.help))
+		for name, text := range r.help {
+			s.Help[name] = text
+		}
+	}
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
 		for name, c := range r.counters {
@@ -105,26 +115,97 @@ func sortedKeys[V any](m map[string]V) []string {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// defaultHelp describes the well-known metric families published across
+// the repo, keyed by exact name. Dynamic names fall through to the
+// prefix rules in helpFor.
+var defaultHelp = map[string]string{
+	"autotune_candidates_total":        "Schedule candidates enumerated by the autotuner.",
+	"autotune_candidates_valid_total":  "Candidates that passed the SPM-capacity and legality checks.",
+	"autotune_candidates_failed_total": "Candidates dropped after a measurement panic or exhausted retries.",
+	"autotune_retries_total":           "Transient measurement errors retried with backoff.",
+	"autotune_backoff_seconds":         "Cumulative wall seconds slept in measurement retry backoff.",
+	"autotune_best_predicted_seconds":  "Model-predicted machine seconds of the best candidate.",
+	"autotune_best_measured_seconds":   "Measured machine seconds of the selected schedule.",
+	"autotune_machine_seconds":         "Simulated machine seconds spent measuring candidates.",
+	"autotune_search_wall_seconds":     "Host wall seconds of the schedule search phase.",
+	"autotune_finalist_wall_seconds":   "Host wall seconds of the finalist measurement phase.",
+	"exec_runs_total":                  "Programs executed on the simulated core group.",
+	"exec_run_failures_total":          "Program executions that returned an error.",
+	"exec_run_seconds":                 "Simulated machine seconds per program execution.",
+	"exec_machine_seconds":             "Cumulative simulated machine seconds executed.",
+	"cache_hits_total":                 "Schedule-library lookups that found an entry.",
+	"cache_misses_total":               "Schedule-library lookups that found nothing.",
+	"cache_puts_total":                 "Schedules stored into the library.",
+	"cache_deletes_total":              "Schedules deleted from the library.",
+	"cache_commits_total":              "Successful library saves to disk.",
+	"cache_commit_failures_total":      "Library saves that failed.",
+	"cache_loaded_entries_total":       "Entries accepted while loading a library file.",
+	"cache_quarantined_total":          "Entries rejected (quarantined) while loading a library file.",
+	"tuner_cache_hits_total":           "Tuner-level library hits serving a cached schedule.",
+	"tuner_cache_misses_total":         "Tuner-level library misses that forced tuning.",
+	"tuner_degraded_total":             "Operators degraded to the manual baseline schedule.",
+	"infer_machine_seconds":            "Simulated machine seconds of the whole network run.",
+	"infer_arena_peak_bytes":           "Peak bytes of the activation buffer-reuse arena.",
+	"infer_dma_hidden_ratio":           "Fraction of DMA time hidden behind compute.",
+	"swbench_experiments_total":        "Paper experiments regenerated this session.",
+}
+
+// helpPrefixes describes dynamically named metric families.
+var helpPrefixes = []struct{ prefix, text string }{
+	{"infer_method_", "Layers resolved to this convolution method."},
+	{"infer_", "Inference-layer resolution outcome counter."},
+	{"machine_", "Simulated SW26010 machine counter."},
+	{"swsim_", "Substrate characterization measurement."},
+}
+
+// helpFor picks the # HELP text for a metric: explicit SetHelp text wins,
+// then the built-in tables, then a generic kind-based line — every family
+// always gets a HELP line.
+func (s Snapshot) helpFor(name, kind string) string {
+	if text, ok := s.Help[name]; ok {
+		return text
+	}
+	if text, ok := defaultHelp[name]; ok {
+		return text
+	}
+	for _, p := range helpPrefixes {
+		if strings.HasPrefix(name, p.prefix) {
+			return p.text
+		}
+	}
+	return "swATOP " + kind + "."
+}
+
+// escapeHelp escapes help text per the exposition format: backslash and
+// newline are the only characters with escape sequences in comment lines.
+func escapeHelp(text string) string {
+	text = strings.ReplaceAll(text, `\`, `\\`)
+	return strings.ReplaceAll(text, "\n", `\n`)
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format (version 0.0.4): TYPE comments, cumulative histogram buckets with
-// an explicit +Inf bound, names sorted.
+// format (version 0.0.4): HELP and TYPE comments for every family,
+// cumulative histogram buckets with an explicit +Inf bound, names sorted.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			pn, escapeHelp(s.helpFor(name, "counter")), pn, pn, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(s.Gauges[name])); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			pn, escapeHelp(s.helpFor(name, "gauge")), pn, pn, formatFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		pn := promName(name)
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			pn, escapeHelp(s.helpFor(name, "histogram")), pn); err != nil {
 			return err
 		}
 		cum := int64(0)

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusConformance parses a rendered exposition page and checks
+// the structural rules scrapers rely on: every sample is preceded by its
+// family's HELP and TYPE comments, metric names are legal, histogram
+// buckets are cumulative with ascending le bounds, and the +Inf bucket
+// equals the _count series.
+func TestPrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("autotune_candidates_total").Add(7)
+	r.Counter("custom_thing_total").Inc()
+	r.SetHelp("custom_thing_total", "line one\nline two with \\ backslash")
+	r.Gauge("swsim_dma_triad_gbps").Set(22.47)
+	r.Gauge("infer_dma_hidden_ratio").Set(0.5)
+	h := r.Histogram("exec_run_seconds", 0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if !strings.HasSuffix(page, "\n") {
+		t.Fatalf("page must end in a newline")
+	}
+
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	// histogram bookkeeping per family
+	lastLe := map[string]float64{}
+	lastCum := map[string]int64{}
+	infBucket := map[string]int64{}
+	countSeries := map[string]int64{}
+
+	family := func(sample string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sample, suffix)
+			if base != sample && typed[base] == "histogram" {
+				return base
+			}
+		}
+		return sample
+	}
+
+	for _, line := range strings.Split(strings.TrimSuffix(page, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, text, ok := strings.Cut(rest, " ")
+			if !ok || text == "" {
+				t.Fatalf("HELP without text: %q", line)
+			}
+			if typed[name] != "" {
+				t.Fatalf("HELP for %s after its TYPE", name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := fields[0], fields[1]
+			if !helped[name] {
+				t.Fatalf("TYPE for %s without preceding HELP", name)
+			}
+			if typed[name] != "" {
+				t.Fatalf("duplicate TYPE for %s", name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type %q in %q", typ, line)
+			}
+			typed[name] = typ
+		case line == "":
+			t.Fatalf("blank line in exposition page")
+		default:
+			sample, value, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			name := sample
+			var le string
+			if i := strings.IndexByte(sample, '{'); i >= 0 {
+				name = sample[:i]
+				label := sample[i:]
+				m := regexp.MustCompile(`^\{le="([^"]+)"\}$`).FindStringSubmatch(label)
+				if m == nil {
+					t.Fatalf("unexpected label set %q in %q", label, line)
+				}
+				le = m[1]
+			}
+			if !nameRe.MatchString(name) {
+				t.Fatalf("illegal metric name %q", name)
+			}
+			fam := family(name)
+			if typed[fam] == "" {
+				t.Fatalf("sample %q before its family's TYPE", line)
+			}
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+			if le != "" {
+				cum := int64(v)
+				if cum < lastCum[fam] {
+					t.Fatalf("%s: bucket counts not cumulative at le=%s", fam, le)
+				}
+				lastCum[fam] = cum
+				if le == "+Inf" {
+					infBucket[fam] = cum
+					continue
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s: unparseable le %q", fam, le)
+				}
+				if prev, seen := lastLe[fam]; seen && bound <= prev {
+					t.Fatalf("%s: le bounds not ascending (%g after %g)", fam, bound, prev)
+				}
+				lastLe[fam] = bound
+			} else if strings.HasSuffix(name, "_count") && typed[fam] == "histogram" {
+				countSeries[fam] = int64(v)
+			}
+		}
+	}
+
+	for fam, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		if infBucket[fam] != countSeries[fam] {
+			t.Fatalf("%s: +Inf bucket %d != _count %d", fam, infBucket[fam], countSeries[fam])
+		}
+		if countSeries[fam] != 5 {
+			t.Fatalf("%s: _count = %d, want 5", fam, countSeries[fam])
+		}
+	}
+
+	// Every family carries HELP, including dynamically named ones.
+	for _, fam := range []string{"autotune_candidates_total", "custom_thing_total",
+		"swsim_dma_triad_gbps", "infer_dma_hidden_ratio", "exec_run_seconds"} {
+		if !helped[fam] {
+			t.Fatalf("no HELP line for %s", fam)
+		}
+	}
+
+	// SetHelp text is escaped: the raw newline and backslash must appear
+	// as \n and \\ escape sequences on one comment line.
+	if !strings.Contains(page, `# HELP custom_thing_total line one\nline two with \\ backslash`) {
+		t.Fatalf("escaped HELP text missing:\n%s", page)
+	}
+	// Built-in table text is used for known families.
+	if !strings.Contains(page, "# HELP autotune_candidates_total Schedule candidates enumerated") {
+		t.Fatalf("default help table not applied:\n%s", page)
+	}
+}

@@ -158,6 +158,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry creates an empty registry.
@@ -166,7 +167,19 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
+}
+
+// SetHelp attaches Prometheus exposition help text to a metric name,
+// overriding the built-in description table. Nil-safe.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
 }
 
 var defaultRegistry = NewRegistry()

@@ -1,0 +1,162 @@
+package obsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testEvent() Event {
+	return Event{
+		Seq:   42,
+		Time:  time.Date(2026, 1, 2, 3, 4, 5, 600000000, time.UTC),
+		Level: LevelWarn,
+		Kind:  "candidate.retry",
+		Fields: []Field{
+			F("op", "gemm_2048"),
+			F("attempt", 2),
+			Ms("predicted", 0.0123),
+		},
+	}
+}
+
+func TestEventJSON(t *testing.T) {
+	data := testEvent().JSON()
+	if !json.Valid(data) {
+		t.Fatalf("invalid JSON: %s", data)
+	}
+	if bytes.ContainsRune(data, '\n') {
+		t.Fatalf("encoding contains a raw newline: %q", data)
+	}
+	var doc struct {
+		Seq    uint64            `json:"seq"`
+		Time   string            `json:"time"`
+		Level  string            `json:"level"`
+		Kind   string            `json:"kind"`
+		Fields map[string]string `json:"fields"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Seq != 42 || doc.Level != "WARN" || doc.Kind != "candidate.retry" {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if doc.Fields["op"] != "gemm_2048" || doc.Fields["attempt"] != "2" {
+		t.Fatalf("bad fields: %+v", doc.Fields)
+	}
+	if doc.Fields["predicted"] != "12.3" {
+		t.Fatalf("Ms formatting: got %q", doc.Fields["predicted"])
+	}
+	// Field order is emission order, not map order.
+	if !bytes.Contains(data, []byte(`"op":"gemm_2048","attempt":"2"`)) {
+		t.Fatalf("field order lost: %s", data)
+	}
+}
+
+func TestEventJSONEscaping(t *testing.T) {
+	e := Event{
+		Seq:  1,
+		Kind: "weird\"kind\n",
+		Fields: []Field{
+			{Key: "newline", Value: "a\nb"},
+			{Key: "quote", Value: `say "hi"`},
+			{Key: "invalid_utf8", Value: string([]byte{0xff, 0xfe})},
+			{Key: "control", Value: "\x00\x1f"},
+		},
+	}
+	data := e.JSON()
+	if !json.Valid(data) {
+		t.Fatalf("invalid JSON after hostile input: %q", data)
+	}
+	if bytes.ContainsRune(data, '\n') {
+		t.Fatalf("raw newline survived escaping: %q", data)
+	}
+}
+
+func TestEventSSEFrame(t *testing.T) {
+	frame := string(testEvent().AppendSSE(nil))
+	if !strings.HasSuffix(frame, "\n\n") {
+		t.Fatalf("frame must end with a blank line: %q", frame)
+	}
+	lines := strings.Split(strings.TrimSuffix(frame, "\n\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 frame lines, got %d: %q", len(lines), frame)
+	}
+	if lines[0] != "id: 42" {
+		t.Fatalf("bad id line: %q", lines[0])
+	}
+	if lines[1] != "event: candidate.retry" {
+		t.Fatalf("bad event line: %q", lines[1])
+	}
+	data, ok := strings.CutPrefix(lines[2], "data: ")
+	if !ok {
+		t.Fatalf("bad data line: %q", lines[2])
+	}
+	if !json.Valid([]byte(data)) {
+		t.Fatalf("data payload is not JSON: %q", data)
+	}
+}
+
+func TestEventSSEHostileKind(t *testing.T) {
+	e := Event{Seq: 7, Kind: "evil\ndata: injected\n\nevent: fake"}
+	frame := string(e.AppendSSE(nil))
+	// The kind is stripped of newlines: exactly one id, one event, one
+	// data line, one terminating blank line.
+	if got := strings.Count(frame, "\nevent: "); got != 1 {
+		t.Fatalf("frame was split open by kind content: %q", frame)
+	}
+	lines := strings.Split(strings.TrimSuffix(frame, "\n\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("hostile kind broke framing: %q", frame)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, tc := range []struct {
+		level Level
+		want  string
+	}{
+		{LevelDebug, "DEBUG"}, {LevelInfo, "INFO"},
+		{LevelWarn, "WARN"}, {LevelError, "ERROR"},
+		{LevelInfo + 1, "INFO"}, {LevelError + 4, "ERROR"},
+	} {
+		if got := tc.level.String(); got != tc.want {
+			t.Errorf("Level(%d).String() = %q, want %q", tc.level, got, tc.want)
+		}
+	}
+}
+
+// FuzzEventEncoder feeds arbitrary strings through both encoders and
+// checks the invariants every consumer relies on: the JSON line is valid
+// and newline-free, and the SSE frame has exactly the id/event/data
+// structure with a blank-line terminator.
+func FuzzEventEncoder(f *testing.F) {
+	f.Add("candidate.finish", "strategy", "tile 64x64", uint64(1))
+	f.Add("k\nind", "key\"", "value\nwith\nnewlines", uint64(0))
+	f.Add("", "", string([]byte{0xff, 0x00, 0x7f}), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, kind, key, value string, seq uint64) {
+		e := Event{Seq: seq, Time: time.Unix(0, 0), Level: LevelInfo, Kind: kind,
+			Fields: []Field{{Key: key, Value: value}}}
+		data := e.JSON()
+		if !json.Valid(data) {
+			t.Fatalf("invalid JSON for kind=%q key=%q value=%q: %q", kind, key, value, data)
+		}
+		if bytes.ContainsAny(data, "\n\r") {
+			t.Fatalf("JSON contains raw line breaks: %q", data)
+		}
+		frame := e.AppendSSE(nil)
+		if !bytes.HasSuffix(frame, []byte("\n\n")) {
+			t.Fatalf("SSE frame not terminated: %q", frame)
+		}
+		body := bytes.TrimSuffix(frame, []byte("\n\n"))
+		lines := bytes.Split(body, []byte("\n"))
+		if len(lines) != 3 ||
+			!bytes.HasPrefix(lines[0], []byte("id: ")) ||
+			!bytes.HasPrefix(lines[1], []byte("event: ")) ||
+			!bytes.HasPrefix(lines[2], []byte("data: ")) {
+			t.Fatalf("SSE framing broken for kind=%q: %q", kind, frame)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package obsrv
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// WriteFlight writes the flight recorder's current contents as one JSON
+// document:
+//
+//	{"reason":..., "time":..., "pid":..., "capacity":..,
+//	 "events_total":.., "events_retained":..,
+//	 "jobs":[...], "events":[...]}
+//
+// with the job table frozen at dump time and every retained event (oldest
+// first) in the single-line event encoding. Nil-safe: a nil observer
+// writes an empty document.
+func (o *Observer) WriteFlight(w io.Writer, reason string) error {
+	events := o.Flight().Snapshot()
+	jobs := o.Jobs().Snapshot()
+	var buf []byte
+	buf = append(buf, `{"reason":`...)
+	buf = appendJSONString(buf, reason)
+	buf = append(buf, `,"time":`...)
+	buf = appendJSONString(buf, time.Now().Format(time.RFC3339Nano))
+	buf = append(buf, fmt.Sprintf(`,"pid":%d,"capacity":%d,"events_total":%d,"events_retained":%d`,
+		os.Getpid(), o.Flight().Cap(), o.Flight().Total(), len(events))...)
+	buf = append(buf, `,"jobs":[`...)
+	for i, j := range jobs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJobJSON(buf, j)
+	}
+	buf = append(buf, `],"events":[`...)
+	for i, e := range events {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n  "...)
+		buf = e.AppendJSON(buf)
+	}
+	if len(events) > 0 {
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, "]}\n"...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendJobJSON encodes one JobStatus with the same hand-rolled encoder
+// the events use (ordered keys, escaped strings).
+func appendJobJSON(dst []byte, j JobStatus) []byte {
+	dst = append(dst, fmt.Sprintf(`{"id":%d,"kind":`, j.ID)...)
+	dst = appendJSONString(dst, j.Kind)
+	dst = append(dst, `,"name":`...)
+	dst = appendJSONString(dst, j.Name)
+	dst = append(dst, `,"state":`...)
+	dst = appendJSONString(dst, j.State)
+	dst = append(dst, fmt.Sprintf(`,"done":%d,"valid":%d,"failed":%d,"total":%d,"best_ms":%g,"elapsed_seconds":%g`,
+		j.Done, j.Valid, j.Failed, j.Total, j.BestMs, j.ElapsedSeconds)...)
+	if j.Detail != "" {
+		dst = append(dst, `,"detail":`...)
+		dst = appendJSONString(dst, j.Detail)
+	}
+	return append(dst, '}')
+}
+
+// AutoDump writes a flight dump to the configured sink (SetFlightSink).
+// The facade calls it when a tune fails or degrades to baseline; the CLI
+// layer calls it on SIGQUIT. With no sink configured it is a no-op, so
+// library users who attach an observer purely for /events never get
+// surprise writes. Nil-safe.
+func (o *Observer) AutoDump(reason string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	w := o.flightW
+	o.mu.Unlock()
+	if w == nil {
+		return
+	}
+	o.dumps.Add(1)
+	o.Emit(LevelWarn, "flight.dump", F("reason", reason))
+	if err := o.WriteFlight(w, reason); err != nil {
+		o.Emit(LevelError, "flight.dump.error", F("error", err))
+	}
+}
+
+// Dumps is the number of automatic flight dumps taken so far.
+func (o *Observer) Dumps() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.dumps.Load()
+}

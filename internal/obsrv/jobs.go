@@ -1,0 +1,217 @@
+package obsrv
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job states.
+const (
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobDegraded = "degraded"
+)
+
+// JobTracker registers in-flight tuning and inference jobs so /statusz can
+// show a live done/valid/failed/best-ms view of an unattended session. All
+// methods are nil-safe: a nil tracker hands out nil jobs whose updates are
+// no-ops, so reporting code never branches on "is an observer attached".
+type JobTracker struct {
+	mu     sync.Mutex
+	nextID int
+	jobs   map[int]*Job
+	// keep is how many finished jobs are retained for post-mortem listing;
+	// older finished jobs are evicted, running jobs never are.
+	keep int
+}
+
+// NewJobTracker creates an empty tracker retaining the last 32 finished
+// jobs alongside every running one.
+func NewJobTracker() *JobTracker {
+	return &JobTracker{jobs: map[int]*Job{}, keep: 32}
+}
+
+// Job is one tracked unit of work: a tuning search or a network inference.
+// Progress setters are safe for concurrent use and nil-inert.
+type Job struct {
+	tracker *JobTracker
+	id      int
+	kind    string
+	name    string
+	start   time.Time
+
+	mu     sync.Mutex
+	state  string
+	done   int
+	valid  int
+	failed int
+	total  int
+	bestMs float64
+	detail string
+	end    time.Time
+}
+
+// Start registers a new running job. Nil-safe: a nil tracker returns a nil
+// job.
+func (t *JobTracker) Start(kind, name string) *Job {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	j := &Job{tracker: t, id: t.nextID, kind: kind, name: name,
+		start: time.Now(), state: JobRunning}
+	t.jobs[j.id] = j
+	t.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention budget.
+func (t *JobTracker) evictLocked() {
+	finished := make([]*Job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		if j.State() != JobRunning {
+			finished = append(finished, j)
+		}
+	}
+	if len(finished) <= t.keep {
+		return
+	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].id < finished[k].id })
+	for _, j := range finished[:len(finished)-t.keep] {
+		delete(t.jobs, j.id)
+	}
+}
+
+// Progress records candidate-level progress: processed, valid and failed
+// candidate counts and the best score so far in milliseconds (0 while no
+// valid candidate exists).
+func (j *Job) Progress(done, valid, failed int, bestMs float64) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.done, j.valid, j.failed, j.bestMs = done, valid, failed, bestMs
+	j.mu.Unlock()
+}
+
+// SetTotal sets the known amount of work (e.g. a network's operator-layer
+// count); 0 means unknown.
+func (j *Job) SetTotal(n int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.total = n
+	j.mu.Unlock()
+}
+
+// SetDetail records what the job is currently working on (a layer name, a
+// tuning stage).
+func (j *Job) SetDetail(s string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.detail = s
+	j.mu.Unlock()
+}
+
+// Finish moves the job to a terminal state (JobDone, JobFailed or
+// JobDegraded; anything else is coerced to JobDone).
+func (j *Job) Finish(state string) {
+	if j == nil {
+		return
+	}
+	switch state {
+	case JobDone, JobFailed, JobDegraded:
+	default:
+		state = JobDone
+	}
+	j.mu.Lock()
+	j.state = state
+	j.end = time.Now()
+	j.mu.Unlock()
+	if j.tracker != nil {
+		j.tracker.mu.Lock()
+		j.tracker.evictLocked()
+		j.tracker.mu.Unlock()
+	}
+}
+
+// State reads the job's current state ("" on a nil job).
+func (j *Job) State() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// JobStatus is the frozen, JSON-ready view of one job.
+type JobStatus struct {
+	ID             int     `json:"id"`
+	Kind           string  `json:"kind"`
+	Name           string  `json:"name"`
+	State          string  `json:"state"`
+	Done           int     `json:"done"`
+	Valid          int     `json:"valid"`
+	Failed         int     `json:"failed"`
+	Total          int     `json:"total,omitempty"`
+	BestMs         float64 `json:"best_ms,omitempty"`
+	Detail         string  `json:"detail,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// Status freezes one job ("zero" on nil).
+func (j *Job) Status() JobStatus {
+	if j == nil {
+		return JobStatus{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	elapsed := time.Since(j.start)
+	if !j.end.IsZero() {
+		elapsed = j.end.Sub(j.start)
+	}
+	return JobStatus{
+		ID: j.id, Kind: j.kind, Name: j.name, State: j.state,
+		Done: j.done, Valid: j.valid, Failed: j.failed, Total: j.total,
+		BestMs: j.bestMs, Detail: j.detail,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+}
+
+// Snapshot lists all retained jobs, oldest first. Nil-safe.
+func (t *JobTracker) Snapshot() []JobStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	jobs := make([]*Job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Running lists only the in-flight jobs, oldest first.
+func (t *JobTracker) Running() []JobStatus {
+	var out []JobStatus
+	for _, s := range t.Snapshot() {
+		if s.State == JobRunning {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package obsrv
+
+import "testing"
+
+func TestJobLifecycle(t *testing.T) {
+	tr := NewJobTracker()
+	j := tr.Start("tune", "gemm_2048")
+	j.SetTotal(100)
+	j.SetDetail("blackbox")
+	j.Progress(40, 30, 2, 1.25)
+	st := j.Status()
+	if st.Kind != "tune" || st.Name != "gemm_2048" || st.State != JobRunning {
+		t.Fatalf("bad status header: %+v", st)
+	}
+	if st.Done != 40 || st.Valid != 30 || st.Failed != 2 || st.BestMs != 1.25 ||
+		st.Total != 100 || st.Detail != "blackbox" {
+		t.Fatalf("bad progress: %+v", st)
+	}
+
+	j.Finish(JobDegraded)
+	if j.State() != JobDegraded {
+		t.Fatalf("State = %q", j.State())
+	}
+	// Unknown terminal states coerce to done.
+	k := tr.Start("tune", "x")
+	k.Finish("exploded")
+	if k.State() != JobDone {
+		t.Fatalf("coerced state = %q", k.State())
+	}
+}
+
+func TestJobTrackerEviction(t *testing.T) {
+	tr := NewJobTracker()
+	running := tr.Start("infer", "vgg16") // never finished; must survive
+	for i := 0; i < 50; i++ {
+		tr.Start("tune", "op").Finish(JobDone)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 33 { // 32 finished + 1 running
+		t.Fatalf("retained %d jobs, want 33", len(snap))
+	}
+	// Oldest first; the long-running job has the smallest id.
+	if snap[0].ID != running.Status().ID || snap[0].State != JobRunning {
+		t.Fatalf("running job evicted or reordered: %+v", snap[0])
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID <= snap[i-1].ID {
+			t.Fatalf("snapshot not id-ordered at %d", i)
+		}
+	}
+	got := tr.Running()
+	if len(got) != 1 || got[0].Name != "vgg16" {
+		t.Fatalf("Running() = %+v", got)
+	}
+}
+
+func TestJobNilSafe(t *testing.T) {
+	var tr *JobTracker
+	j := tr.Start("tune", "x")
+	if j != nil {
+		t.Fatal("nil tracker handed out a real job")
+	}
+	j.Progress(1, 1, 0, 0) // all no-ops, must not panic
+	j.SetTotal(5)
+	j.SetDetail("d")
+	j.Finish(JobDone)
+	if j.State() != "" || (j.Status() != JobStatus{}) {
+		t.Fatal("nil job is not inert")
+	}
+	if tr.Snapshot() != nil || tr.Running() != nil {
+		t.Fatal("nil tracker snapshots not empty")
+	}
+}

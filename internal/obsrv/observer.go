@@ -1,0 +1,232 @@
+package obsrv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer is the structured event hub: every layer emits events into it,
+// and it fans them out to the flight-recorder ring, to live subscribers
+// (the /events SSE endpoint) and — above the configured level — to a
+// log/slog logger. A nil *Observer is inert, mirroring internal/metrics:
+// instrumented code calls obs.Emit(...) unconditionally and pays one nil
+// check when observability is detached.
+//
+// Emission is bounded work and never blocks: the ring append is O(1) under
+// a short mutex, subscriber sends are non-blocking (a slow subscriber
+// loses events and its drop count grows), and slog handling is the
+// caller-provided handler's cost. Observers never touch a metrics
+// registry, which is how the "attaching observability changes no result"
+// invariant holds by construction.
+type Observer struct {
+	seq    atomic.Uint64
+	flight *Ring
+	jobs   *JobTracker
+
+	mu      sync.Mutex
+	logger  *slog.Logger
+	level   Level
+	subs    map[int]*subscriber
+	nextSub int
+	flightW io.Writer // auto-dump destination (nil: auto dumps are skipped)
+	dumps   atomic.Uint64
+	dropped atomic.Uint64
+}
+
+type subscriber struct {
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+// New creates an observer with a DefaultFlightCapacity flight recorder, an
+// Info log level and no logger attached.
+func New() *Observer {
+	return NewWithCapacity(DefaultFlightCapacity)
+}
+
+// NewWithCapacity creates an observer whose flight recorder retains the
+// most recent capacity events.
+func NewWithCapacity(capacity int) *Observer {
+	return &Observer{
+		flight: NewRing(capacity),
+		jobs:   NewJobTracker(),
+		subs:   map[int]*subscriber{},
+		level:  LevelInfo,
+	}
+}
+
+// Enabled reports whether events are being observed at all — the guard
+// call sites use before formatting expensive fields.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// SetLogger attaches a slog logger that receives every event at or above
+// the observer's level (nil detaches).
+func (o *Observer) SetLogger(l *slog.Logger) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.logger = l
+	o.mu.Unlock()
+}
+
+// SetLevel sets the minimum level forwarded to the slog logger. The ring
+// and subscribers always receive every event — the flight recorder's whole
+// point is having the Debug-level candidate tail when something fails.
+func (o *Observer) SetLevel(l Level) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.level = l
+	o.mu.Unlock()
+}
+
+// SetFlightSink sets where automatic flight-recorder dumps go (tune
+// failure, baseline fallback, SIGQUIT). Nil disables auto dumps;
+// DumpFlight still works explicitly.
+func (o *Observer) SetFlightSink(w io.Writer) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.flightW = w
+	o.mu.Unlock()
+}
+
+// Jobs returns the observer's job tracker (nil on a nil observer; the
+// tracker's own methods are nil-safe, so chained calls never branch).
+func (o *Observer) Jobs() *JobTracker {
+	if o == nil {
+		return nil
+	}
+	return o.jobs
+}
+
+// Flight returns the flight-recorder ring (nil on a nil observer).
+func (o *Observer) Flight() *Ring {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// Emit records one structured event: sequence-stamped, appended to the
+// flight recorder, fanned out to subscribers, and logged through slog when
+// at or above the observer's level. Nil-safe and non-blocking.
+func (o *Observer) Emit(level Level, kind string, fields ...Field) {
+	if o == nil {
+		return
+	}
+	e := Event{
+		Seq:    o.seq.Add(1),
+		Time:   time.Now(),
+		Level:  level,
+		Kind:   kind,
+		Fields: fields,
+	}
+	o.flight.Append(e)
+
+	o.mu.Lock()
+	logger := o.logger
+	lvl := o.level
+	for _, s := range o.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+			o.dropped.Add(1)
+		}
+	}
+	o.mu.Unlock()
+
+	if logger != nil && level >= lvl {
+		attrs := make([]any, 0, 2*len(fields))
+		for _, f := range fields {
+			attrs = append(attrs, f.Key, f.Value)
+		}
+		logger.Log(context.Background(), slog.Level(level), kind, attrs...)
+	}
+}
+
+// Debugf/Infof/Warnf/Errorf emit a single-field printf-style event — the
+// escape hatch for one-off messages that don't warrant structured fields.
+func (o *Observer) Debugf(kind, format string, args ...any) {
+	o.printf(LevelDebug, kind, format, args...)
+}
+
+// Infof emits a formatted Info event.
+func (o *Observer) Infof(kind, format string, args ...any) {
+	o.printf(LevelInfo, kind, format, args...)
+}
+
+// Warnf emits a formatted Warn event.
+func (o *Observer) Warnf(kind, format string, args ...any) {
+	o.printf(LevelWarn, kind, format, args...)
+}
+
+// Errorf emits a formatted Error event.
+func (o *Observer) Errorf(kind, format string, args ...any) {
+	o.printf(LevelError, kind, format, args...)
+}
+
+func (o *Observer) printf(level Level, kind, format string, args ...any) {
+	if o == nil {
+		return
+	}
+	o.Emit(level, kind, Field{Key: "msg", Value: fmt.Sprintf(format, args...)})
+}
+
+// Subscribe registers a live event listener with the given channel buffer
+// (values < 1 get a sane default). It returns the event channel and a
+// cancel function; after cancel the channel is closed. Slow subscribers
+// drop events instead of blocking emitters.
+func (o *Observer) Subscribe(buffer int) (<-chan Event, func()) {
+	if o == nil {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	if buffer < 1 {
+		buffer = 256
+	}
+	s := &subscriber{ch: make(chan Event, buffer)}
+	o.mu.Lock()
+	o.nextSub++
+	id := o.nextSub
+	o.subs[id] = s
+	o.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			o.mu.Lock()
+			delete(o.subs, id)
+			o.mu.Unlock()
+			close(s.ch)
+		})
+	}
+	return s.ch, cancel
+}
+
+// Subscribers reports the number of live subscribers.
+func (o *Observer) Subscribers() int {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.subs)
+}
+
+// Dropped is the total number of events lost to slow subscribers.
+func (o *Observer) Dropped() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.dropped.Load()
+}

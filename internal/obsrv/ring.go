@@ -1,0 +1,86 @@
+package obsrv
+
+import "sync"
+
+// DefaultFlightCapacity is the number of recent events a new Observer's
+// flight recorder retains — enough to hold the tail of a tuning search
+// (finalists, retries, the failure cascade) without unbounded growth on
+// multi-hour sessions.
+const DefaultFlightCapacity = 1024
+
+// Ring is a fixed-capacity ring buffer of events: appends never allocate
+// once full, the newest Cap() events win, older ones fall off. It is safe
+// for concurrent use; a nil *Ring is inert.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever appended; total % cap is the next write slot
+}
+
+// NewRing creates a ring retaining the most recent capacity events
+// (capacity < 1 falls back to DefaultFlightCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event, evicting the oldest when full.
+func (r *Ring) Append(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = e
+	}
+	r.total++
+}
+
+// Cap is the retention capacity (0 on a nil ring).
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.buf)
+}
+
+// Len is the number of retained events (0 on a nil ring).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total is the number of events ever appended, including evicted ones.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the retained events, oldest first. Nil-safe.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.total % uint64(cap(r.buf)) // oldest slot once wrapped
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}

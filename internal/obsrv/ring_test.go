@@ -1,0 +1,91 @@
+package obsrv
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestRingFillThenWrap(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Append(Event{Seq: uint64(i + 1)})
+	}
+	if r.Len() != 5 || r.Total() != 5 {
+		t.Fatalf("before wrap: Len=%d Total=%d", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("unwrapped snapshot out of order at %d: %d", i, e.Seq)
+		}
+	}
+
+	// Push far past capacity: retained window is the newest 8, oldest first.
+	for i := 5; i < 100; i++ {
+		r.Append(Event{Seq: uint64(i + 1)})
+	}
+	if r.Len() != 8 || r.Total() != 100 {
+		t.Fatalf("after wrap: Len=%d Total=%d", r.Len(), r.Total())
+	}
+	snap = r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	for i, e := range snap {
+		if want := uint64(93 + i); e.Seq != want {
+			t.Fatalf("wrapped snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestRingCapacityFallback(t *testing.T) {
+	if got := NewRing(0).Cap(); got != DefaultFlightCapacity {
+		t.Fatalf("zero capacity fell back to %d", got)
+	}
+	if got := NewRing(-3).Cap(); got != DefaultFlightCapacity {
+		t.Fatalf("negative capacity fell back to %d", got)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Append(Event{Seq: 1}) // must not panic
+	if r.Cap() != 0 || r.Len() != 0 || r.Total() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring is not inert")
+	}
+}
+
+// TestRingConcurrentAppend exercises the ring under parallel writers and
+// readers; run with -race. Afterwards the total must equal the append
+// count and the snapshot must hold Cap() distinct events.
+func TestRingConcurrentAppend(t *testing.T) {
+	const writers, perWriter = 8, 500
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(Event{Kind: "w" + strconv.Itoa(w), Seq: uint64(i)})
+				if i%100 == 0 {
+					_ = r.Snapshot() // concurrent reads must be safe too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", r.Total(), writers*perWriter)
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+	if got := len(r.Snapshot()); got != 64 {
+		t.Fatalf("snapshot len %d", got)
+	}
+}

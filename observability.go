@@ -1,6 +1,9 @@
 package swatop
 
-import "swatop/internal/metrics"
+import (
+	"swatop/internal/metrics"
+	"swatop/internal/obsrv"
+)
 
 // MetricsRegistry is the concurrency-safe metrics registry of
 // internal/metrics: named counters, gauges and fixed-bucket histograms with
@@ -18,3 +21,39 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // Metrics returns the process-wide default registry — the one facade
 // components record into when no explicit registry was attached.
 func Metrics() *MetricsRegistry { return metrics.Default() }
+
+// Observer is the structured event hub of internal/obsrv: every
+// instrumented layer (tuning, execution, cache, inference) emits leveled
+// events into it, and it fans them out to a fixed-capacity flight
+// recorder, to live subscribers (the introspection server's /events
+// stream) and optionally to a log/slog logger. Attach one with
+// Tuner.SetObserver or Engine.SetObserver. Attaching an observer never
+// changes a tuning result: events are observational only, and the metrics
+// snapshots of an observed run are bit-identical to an unobserved one.
+type Observer = obsrv.Observer
+
+// ObserverEvent is one structured event (sequence number, time, level,
+// kind, fields).
+type ObserverEvent = obsrv.Event
+
+// JobStatus is the frozen view of one tracked tuning or inference job, as
+// served on the introspection server's /statusz endpoint.
+type JobStatus = obsrv.JobStatus
+
+// NewObserver creates an observer with the default flight-recorder
+// capacity.
+func NewObserver() *Observer { return obsrv.New() }
+
+// IntrospectionServer is the embedded HTTP server of internal/obsrv: it
+// serves /metrics (Prometheus text), /metrics.json, /healthz, /statusz,
+// /events (server-sent events), /flightz and /debug/pprof/ from an
+// observer and a metrics registry. Start it with Start(addr); addr ":0"
+// picks an ephemeral port and Start returns the bound address.
+type IntrospectionServer = obsrv.Server
+
+// NewIntrospectionServer builds an introspection server. component names
+// the process in /statusz; obs and reg may each be nil (endpoints degrade
+// to empty documents).
+func NewIntrospectionServer(component string, obs *Observer, reg *MetricsRegistry) *IntrospectionServer {
+	return obsrv.NewServer(component, obs, reg)
+}

@@ -1,0 +1,195 @@
+package swatop
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"swatop/internal/obsrv"
+)
+
+// runObserved tunes a fixed small GEMM with the given worker count, with
+// or without an attached observer (plus a live subscriber draining
+// events, to exercise the fan-out path), and returns the selected
+// strategy, the simulated seconds and the deterministic part of the
+// metrics snapshot as JSON.
+func runObserved(t *testing.T, workers int, withObserver bool) (string, float64, []byte) {
+	t.Helper()
+	tn, err := NewTuner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.SetWorkers(workers)
+	reg := NewMetricsRegistry()
+	tn.SetMetrics(reg)
+	if withObserver {
+		obs := NewObserver()
+		done := make(chan struct{})
+		events, cancel := obs.Subscribe(64)
+		go func() {
+			defer close(done)
+			for range events {
+			}
+		}()
+		defer func() { cancel(); <-done }()
+		tn.SetObserver(obs)
+	}
+	tuned, err := tn.TuneGemm(GemmParams{M: 256, N: 256, K: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	// Host wall clocks and retry backoff are the only legitimately
+	// nondeterministic metrics; everything else must match bit for bit.
+	for name := range snap.Gauges {
+		if strings.Contains(name, "wall_seconds") || strings.Contains(name, "backoff_seconds") {
+			delete(snap.Gauges, name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tuned.Strategy(), tuned.Seconds(), buf.Bytes()
+}
+
+// TestObserverChangesNoResult is the subsystem's cardinal invariant:
+// attaching an observer (with a live subscriber) changes neither the
+// selected schedule nor any deterministic metric, at any worker count.
+func TestObserverChangesNoResult(t *testing.T) {
+	baseStrategy, baseSeconds, baseSnap := runObserved(t, 1, false)
+	for _, tc := range []struct {
+		workers      int
+		withObserver bool
+	}{{1, true}, {4, false}, {4, true}} {
+		strategy, seconds, snap := runObserved(t, tc.workers, tc.withObserver)
+		if strategy != baseStrategy {
+			t.Fatalf("workers=%d observer=%v changed the schedule:\n  %s\nvs\n  %s",
+				tc.workers, tc.withObserver, strategy, baseStrategy)
+		}
+		if seconds != baseSeconds {
+			t.Fatalf("workers=%d observer=%v changed simulated seconds: %v vs %v",
+				tc.workers, tc.withObserver, seconds, baseSeconds)
+		}
+		if !bytes.Equal(snap, baseSnap) {
+			t.Fatalf("workers=%d observer=%v changed the metrics snapshot:\n%s\nvs\n%s",
+				tc.workers, tc.withObserver, snap, baseSnap)
+		}
+	}
+}
+
+// TestFlightDumpOnFallback: when every measurement fails and the tuner
+// degrades to the baseline, the flight recorder is dumped automatically
+// and the dump names the failing candidates — their strategies and the
+// injected error.
+func TestFlightDumpOnFallback(t *testing.T) {
+	tn, err := NewTuner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewFaultInjector(7)
+	in.FailEveryNth(FaultMeasure, 1, TransientError(errors.New("injected measurement fault")))
+	tn.SetFaults(in)
+	tn.SetFallback(FallbackBaseline)
+
+	obs := NewObserver()
+	var sink bytes.Buffer
+	obs.SetFlightSink(&sink)
+	tn.SetObserver(obs)
+
+	tuned, err := tn.TuneGemm(GemmParams{M: 256, N: 256, K: 256})
+	if err != nil {
+		t.Fatalf("fallback should have absorbed the failure: %v", err)
+	}
+	if !tuned.Degraded() {
+		t.Fatal("result should be degraded")
+	}
+	if obs.Dumps() != 1 {
+		t.Fatalf("expected exactly one automatic dump, got %d", obs.Dumps())
+	}
+
+	var doc struct {
+		Reason string `json:"reason"`
+		Events []struct {
+			Kind   string            `json:"kind"`
+			Fields map[string]string `json:"fields"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(sink.Bytes(), &doc); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if !strings.HasPrefix(doc.Reason, "baseline fallback: ") {
+		t.Fatalf("dump reason %q", doc.Reason)
+	}
+	failed := 0
+	for _, e := range doc.Events {
+		if e.Kind != "candidate.failed" {
+			continue
+		}
+		failed++
+		if e.Fields["strategy"] == "" {
+			t.Fatalf("candidate.failed without strategy: %+v", e)
+		}
+		if !strings.Contains(e.Fields["error"], "injected measurement fault") {
+			t.Fatalf("candidate.failed without the injected error: %+v", e)
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("dump holds no candidate.failed events; reason=%q, %d events",
+			doc.Reason, len(doc.Events))
+	}
+	// The job table must show the tune as failed, not running.
+	if !strings.Contains(sink.String(), `"state":"failed"`) {
+		t.Fatalf("dumped job table lacks the failed tune job: %s", sink.String())
+	}
+}
+
+// TestEngineObserverEvents: the inference engine reports per-layer
+// resolution into the observer's job tracker and event stream.
+func TestEngineObserverEvents(t *testing.T) {
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetWorkers(4)
+	// A full vgg16 resolve emits tens of thousands of candidate events;
+	// size the flight recorder to keep the whole run so the early
+	// net.start survives for the assertion below.
+	obs := obsrv.NewWithCapacity(1 << 17)
+	eng.SetObserver(obs)
+	if _, err := eng.Infer("vgg16", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Every layer tune registers its own job next to the one infer job.
+	var infer *JobStatus
+	tunes := 0
+	for _, j := range obs.Jobs().Snapshot() {
+		j := j
+		switch j.Kind {
+		case "infer":
+			infer = &j
+		case "tune":
+			tunes++
+		}
+	}
+	if infer == nil || infer.State != "done" {
+		t.Fatalf("infer job not tracked: %+v", infer)
+	}
+	if infer.Done == 0 || infer.Total == 0 {
+		t.Fatalf("infer job has no layer progress: %+v", infer)
+	}
+	if tunes == 0 {
+		t.Fatal("no per-layer tune jobs tracked")
+	}
+	kinds := map[string]bool{}
+	for _, e := range obs.Flight().Snapshot() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"net.start", "layer.resolved", "net.finish", "tune.start", "tune.finish"} {
+		if !kinds[want] {
+			t.Fatalf("missing %s event; saw %v", want, kinds)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"swatop/internal/faults"
 	"swatop/internal/gemm"
 	"swatop/internal/ir"
+	"swatop/internal/obsrv"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 	"swatop/internal/trace"
@@ -117,6 +118,7 @@ type Tuner struct {
 	retry       autotune.Retry
 	maxFailures int
 	metrics     *MetricsRegistry
+	observer    *Observer
 }
 
 // UseLibrary attaches a schedule cache: tuning consults it first and
@@ -125,6 +127,24 @@ func (t *Tuner) UseLibrary(l *Library) {
 	t.lib = l
 	if l != nil && t.metrics != nil {
 		l.SetMetrics(t.metrics)
+	}
+	if l != nil && t.observer != nil {
+		l.SetObserver(t.observer)
+	}
+}
+
+// SetObserver attaches a structured-event observer: every tuning run emits
+// its event log (tune/candidate/finalist events) into it and registers as
+// a live job in the observer's tracker, and the attached Library, if any,
+// reports its cache activity to the same observer. When tuning fails or
+// degrades to the baseline, the observer's flight recorder is dumped to
+// its configured sink. Passing nil detaches. Purely observational:
+// attaching an observer changes neither the selected schedule nor any
+// metric.
+func (t *Tuner) SetObserver(o *Observer) {
+	t.observer = o
+	if t.lib != nil {
+		t.lib.SetObserver(o)
 	}
 }
 
@@ -287,12 +307,15 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64,
 		Retry:                t.retry,
 		MaxCandidateFailures: t.maxFailures,
 		Metrics:              t.metrics,
+		Observer:             t.observer,
 	})
 	if err != nil {
 		if t.fallback == FallbackBaseline && !errors.Is(err, context.Canceled) {
 			t.metrics.Counter("tuner_degraded_total").Inc()
+			t.observer.AutoDump("baseline fallback: " + op.Name())
 			return t.degrade(op.Name(), fallback, flops, err)
 		}
+		t.observer.AutoDump("tune failed: " + op.Name())
 		return nil, err
 	}
 	if t.lib != nil {
@@ -316,6 +339,8 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64,
 // emergency answer.
 func (t *Tuner) degrade(name string, fallback func() (*ir.Program, error),
 	flops int64, cause error) (*Tuned, error) {
+	t.observer.Emit(obsrv.LevelWarn, "tuner.degraded",
+		obsrv.F("op", name), obsrv.F("cause", cause))
 	prog, err := fallback()
 	if err != nil {
 		return nil, fmt.Errorf("swatop: tuning %s failed (%v); baseline fallback also failed: %w", name, cause, err)
