@@ -46,9 +46,10 @@ func benchCmd(sess *cliobs.Session, out, against string, tolerancePct float64, w
 }
 
 // collectSnapshot tunes the canonical workloads: the paper's headline
-// 2048^3 GEMM point and VGG16 batch-1 end-to-end inference. Machine
-// seconds are worker-count independent, so `workers` only affects the
-// recorded wall seconds.
+// 2048^3 GEMM point, VGG16 batch-1 end-to-end inference, and the VGG16
+// batch-8 throughput points at one core group and at the full 4-group
+// fleet. Machine seconds are worker-count independent, so `workers` only
+// affects the recorded wall seconds.
 func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error) {
 	snap := &bench.Snapshot{
 		Schema:    bench.SchemaVersion,
@@ -101,5 +102,39 @@ func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error)
 		Candidates:     reg.Counter("autotune_candidates_total").Value(),
 		GFLOPS:         rep.GFLOPS,
 	})
+
+	// The scale-out throughput rows: VGG16 batch 8 on one core group and
+	// on the full 4-group fleet (hybrid data parallelism). Gating their
+	// machine seconds gates the fleet speedup.
+	for _, w := range []struct {
+		name   string
+		groups int
+	}{
+		{"vgg16-b8-g1", 1},
+		{"vgg16-b8-g4", 4},
+	} {
+		reg = swatop.NewMetricsRegistry()
+		eng, err = swatop.NewEngine()
+		if err != nil {
+			return nil, err
+		}
+		eng.SetWorkers(workers)
+		eng.SetGroups(w.groups)
+		eng.SetMetrics(reg)
+		eng.SetObserver(sess.Observer)
+		start = time.Now()
+		rep, err = eng.Infer("vgg16", 8)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", w.name, err)
+		}
+		snap.Workloads = append(snap.Workloads, bench.Workload{
+			Name:             w.name,
+			MachineSeconds:   rep.Seconds,
+			WallSeconds:      time.Since(start).Seconds(),
+			Candidates:       reg.Counter("autotune_candidates_total").Value(),
+			GFLOPS:           rep.GFLOPS,
+			InferencesPerSec: rep.InferencesPerSec,
+		})
+	}
 	return snap, nil
 }

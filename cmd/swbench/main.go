@@ -18,9 +18,10 @@
 // sweeps run.
 //
 // -bench-out / -bench-against skip the experiment tables and instead run
-// the canonical performance workloads (the 2048^3 GEMM point and VGG16
-// batch-1 inference), writing or gating on a machine-seconds snapshot —
-// the repo's performance trajectory record.
+// the canonical performance workloads (the 2048^3 GEMM point, VGG16
+// batch-1 inference, and VGG16 batch-8 throughput on 1 and 4 core
+// groups), writing or gating on a machine-seconds snapshot — the repo's
+// performance trajectory record.
 package main
 
 import (

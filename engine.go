@@ -31,6 +31,8 @@ type Engine struct {
 	progress    func(node string, done, total int)
 	metrics     *MetricsRegistry
 	observer    *Observer
+	groups      int
+	pipeline    bool
 }
 
 // NewEngine fits the cost model (the per-machine offline calibration) and
@@ -82,6 +84,26 @@ func (e *Engine) SetVerify(tolerance float64) {
 // SetProgress installs a per-layer schedule-resolution callback.
 func (e *Engine) SetProgress(fn func(node string, done, total int)) { e.progress = fn }
 
+// SetGroups scales inference out across a fleet of n simulated core groups
+// (1..4 — one SW26010 node, the swCaffe scale-out unit). 0 or 1 keeps the
+// single-machine path. The default fleet mode is data parallelism: the
+// batch shards across the groups and the fleet time is the slowest group
+// plus the modeled collectives. Nets ending in a fully-connected tail take
+// the hybrid split (batch-sharded convolutions, column-sharded fc layers
+// so each group loads only 1/n of the weight-DMA-bound fc weights);
+// everything else runs the whole net on every group's shard.
+// Schedules still resolve sequentially up front; per-group and aggregate
+// machine seconds stay bit-identical across worker counts and goroutine
+// interleavings. Fleet runs skip the per-layer baseline comparison.
+func (e *Engine) SetGroups(n int) { e.groups = n }
+
+// SetPipeline switches a fleet run (SetGroups >= 2) to layer pipelining:
+// the net is partitioned into balanced stages by per-layer tuned cost and
+// micro-batches of size 1 stream through them. The report carries the
+// stage partition and the pipeline's bubble fraction. Timed-only —
+// incompatible with SetVerify.
+func (e *Engine) SetPipeline(on bool) { e.pipeline = on }
+
 // SetMetrics attaches a metrics registry: every run records machine
 // counters (DMA traffic, transactions, alignment waste, SPM peak, the
 // compute/stall clock split), per-layer schedule-resolution outcomes and
@@ -116,6 +138,28 @@ type LayerReport struct {
 	Checked         bool    `json:"checked,omitempty"`
 }
 
+// GroupReport is one core group's share of a fleet run.
+type GroupReport struct {
+	Group   int     `json:"group"`
+	Batch   int     `json:"batch"`
+	Seconds float64 `json:"seconds"`
+}
+
+// StageReport is one pipeline stage of a pipelined fleet run.
+type StageReport struct {
+	Group           int      `json:"group"`
+	Layers          []string `json:"layers"`
+	Seconds         float64  `json:"seconds"`
+	TransferSeconds float64  `json:"transfer_seconds,omitempty"`
+}
+
+// PipelineReport is the stage partition and schedule of a pipelined run.
+type PipelineReport struct {
+	MicroBatches   int           `json:"micro_batches"`
+	Stages         []StageReport `json:"stages"`
+	BubbleFraction float64       `json:"bubble_fraction"`
+}
+
 // NetReport is a completed network inference run.
 type NetReport struct {
 	Net             string        `json:"net"`
@@ -129,6 +173,17 @@ type NetReport struct {
 	TunedLayers     int           `json:"tuned_layers"`
 	CachedLayers    int           `json:"cached_layers"`
 	DegradedLayers  int           `json:"degraded_layers"`
+	// Mode reports the execution path: "single", "data-parallel" or
+	// "pipeline". InferencesPerSec is the batch over the aggregate machine
+	// seconds — the throughput the scale-out modes exist to raise.
+	Mode             string  `json:"mode"`
+	InferencesPerSec float64 `json:"inferences_per_sec,omitempty"`
+	// CommSeconds and Groups describe a fleet run: the modeled cross-group
+	// communication time and the per-group breakdown. Pipeline carries the
+	// stage partition and bubble fraction of a pipelined run.
+	CommSeconds float64         `json:"comm_seconds,omitempty"`
+	Groups      []GroupReport   `json:"groups,omitempty"`
+	Pipeline    *PipelineReport `json:"pipeline,omitempty"`
 	// Activation memory: the engine's ping-pong buffer-reuse plan vs
 	// dedicating every feature map.
 	PeakActivationBytes  int64 `json:"peak_activation_bytes"`
@@ -137,21 +192,27 @@ type NetReport struct {
 	// after the run (empty when no registry was attached via SetMetrics).
 	Metrics MetricsSnapshot `json:"metrics,omitempty"`
 
-	timeline *trace.Log
-	flops    int64
-	dmaBytes int64
+	timeline   *trace.Log
+	flops      int64
+	dmaBytes   int64
+	groupCount int
 }
 
 // Timeline renders the merged network timeline: busy-time summary, a
-// coarse Gantt chart over all layers, and the network roofline (achieved
-// GFLOPS vs the core group's peak, achieved DMA bandwidth vs the paper's
-// 22.6 GB/s stream bandwidth).
+// coarse Gantt chart (one row per timeline channel, or one row per core
+// group on a fleet run), and the network roofline (achieved GFLOPS vs the
+// peak — scaled by the group count on a fleet run — and achieved DMA
+// bandwidth vs the paper's 22.6 GB/s stream bandwidth per group).
 func (r *NetReport) Timeline() string {
 	if r.timeline == nil {
 		return ""
 	}
+	scale := float64(1)
+	if r.groupCount > 1 {
+		scale = float64(r.groupCount)
+	}
 	roof := r.timeline.Roofline(r.flops, r.dmaBytes,
-		sw26010.PeakGFlops, sw26010.DMAEffBandwidth)
+		sw26010.PeakGFlops*scale, sw26010.DMAEffBandwidth*scale)
 	return r.timeline.Summary() + r.timeline.Gantt(72) + roof.String()
 }
 
@@ -193,6 +254,9 @@ func (e *Engine) InferCtx(ctx context.Context, net string, batch int) (*NetRepor
 		Progress:             e.progress,
 		Metrics:              e.metrics,
 		Observer:             e.observer,
+		Groups:               e.groups,
+		Pipeline:             e.pipeline,
+		Builder:              func(b int) (*graph.Graph, error) { return graph.ByName(net, b) },
 	})
 	if err != nil {
 		e.observer.AutoDump("infer failed: " + net)
@@ -212,11 +276,37 @@ func (e *Engine) InferCtx(ctx context.Context, net string, batch int) (*NetRepor
 		TunedLayers:          res.TunedOps,
 		CachedLayers:         res.CachedOps,
 		DegradedLayers:       res.DegradedOps,
+		Mode:                 res.Mode,
+		CommSeconds:          res.CommSeconds,
 		PeakActivationBytes:  res.Plan.PeakActivationBytes() + res.Plan.IOBytes,
 		NaiveActivationBytes: res.Plan.NaiveBytes + res.Plan.IOBytes,
 		timeline:             res.Timeline,
 		flops:                res.FLOPs,
 		dmaBytes:             res.Counters.DMABytesTouched,
+		groupCount:           len(res.Groups),
+	}
+	if res.Seconds > 0 {
+		rep.InferencesPerSec = float64(res.Batch) / res.Seconds
+	}
+	for _, gr := range res.Groups {
+		rep.Groups = append(rep.Groups, GroupReport{
+			Group: gr.Group, Batch: gr.Batch, Seconds: gr.Seconds,
+		})
+	}
+	if res.Pipeline != nil {
+		p := &PipelineReport{
+			MicroBatches:   res.Pipeline.MicroBatches,
+			BubbleFraction: res.Pipeline.BubbleFraction,
+		}
+		for _, st := range res.Pipeline.Stages {
+			p.Stages = append(p.Stages, StageReport{
+				Group:           st.Group,
+				Layers:          st.Nodes,
+				Seconds:         st.Seconds,
+				TransferSeconds: st.TransferSeconds,
+			})
+		}
+		rep.Pipeline = p
 	}
 	rep.Metrics = e.metrics.Snapshot()
 	for _, l := range res.Layers {

@@ -181,6 +181,110 @@ func snapshotJSON(t *testing.T, s MetricsSnapshot) string {
 	return buf.String()
 }
 
+// TestEngineFleetVGG16 is the scale-out acceptance test: VGG16 batch 8 on
+// a core-group fleet. groups=1 reproduces the single-machine seconds
+// exactly; data parallelism on 4 groups delivers at least 3x the
+// throughput; per-group and aggregate seconds are bit-identical across
+// worker counts; pipeline mode reports its stage partition and bubble
+// fraction.
+func TestEngineFleetVGG16(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibrary()
+	e.UseLibrary(lib)
+	e.SetWorkers(4)
+
+	base, err := e.Infer("vgg16", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mode != "single" || base.InferencesPerSec <= 0 {
+		t.Fatalf("base run: mode %q, %g inf/s", base.Mode, base.InferencesPerSec)
+	}
+
+	// groups=1 is the single-machine path, bit for bit.
+	e.SetGroups(1)
+	g1, err := e.Infer("vgg16", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Seconds != base.Seconds || g1.Mode != "single" {
+		t.Fatalf("groups=1 drifted from the single machine: %g vs %g (mode %q)",
+			g1.Seconds, base.Seconds, g1.Mode)
+	}
+
+	// Data parallelism across the chip's 4 core groups.
+	e.SetGroups(4)
+	g4, err := e.Infer("vgg16", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.Mode != "data-parallel" || len(g4.Groups) != 4 || g4.CommSeconds <= 0 {
+		t.Fatalf("fleet run: mode %q, %d groups, comm %g", g4.Mode, len(g4.Groups), g4.CommSeconds)
+	}
+	if g4.InferencesPerSec < 3*g1.InferencesPerSec {
+		t.Fatalf("4 groups deliver %.1f inf/s, single machine %.1f — less than 3x",
+			g4.InferencesPerSec, g1.InferencesPerSec)
+	}
+	if g4.TraceLog().Groups() != 4 {
+		t.Fatalf("fleet timeline has %d group rows, want 4", g4.TraceLog().Groups())
+	}
+	if tl := g4.Timeline(); !strings.Contains(tl, "group0") || !strings.Contains(tl, "group3") {
+		t.Fatalf("fleet gantt missing group rows:\n%s", tl)
+	}
+
+	// Deterministic scale-out: a replay at another worker count must agree
+	// bit for bit, per group and in aggregate.
+	e.SetWorkers(1)
+	g4b, err := e.Infer("vgg16", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4b.Seconds != g4.Seconds || g4b.CommSeconds != g4.CommSeconds {
+		t.Fatalf("fleet seconds drifted across workers: %g/%g vs %g/%g",
+			g4b.Seconds, g4b.CommSeconds, g4.Seconds, g4.CommSeconds)
+	}
+	for i := range g4.Groups {
+		if g4b.Groups[i] != g4.Groups[i] {
+			t.Fatalf("group %d drifted: %+v vs %+v", i, g4b.Groups[i], g4.Groups[i])
+		}
+	}
+
+	// Layer pipelining: balanced stages, every layer covered, a reported
+	// bubble fraction, and the same determinism.
+	e.SetPipeline(true)
+	p, err := e.Infer("vgg16", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != "pipeline" || p.Pipeline == nil {
+		t.Fatalf("pipeline run: mode %q, report %v", p.Mode, p.Pipeline)
+	}
+	if p.Pipeline.MicroBatches != 8 || len(p.Pipeline.Stages) != 4 {
+		t.Fatalf("pipeline: %d micro-batches, %d stages", p.Pipeline.MicroBatches, len(p.Pipeline.Stages))
+	}
+	covered := 0
+	for _, st := range p.Pipeline.Stages {
+		covered += len(st.Layers)
+	}
+	if covered != len(base.Layers) {
+		t.Fatalf("stages cover %d layers, net has %d", covered, len(base.Layers))
+	}
+	if bf := p.Pipeline.BubbleFraction; bf <= 0 || bf >= 1 {
+		t.Fatalf("bubble fraction = %g", bf)
+	}
+	p2, err := e.Infer("vgg16", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Seconds != p.Seconds || p2.Pipeline.BubbleFraction != p.Pipeline.BubbleFraction {
+		t.Fatalf("pipeline drifted across runs: %g/%g vs %g/%g",
+			p2.Seconds, p2.Pipeline.BubbleFraction, p.Seconds, p.Pipeline.BubbleFraction)
+	}
+}
+
 func TestEngineUnknownNetAndCancellation(t *testing.T) {
 	e, err := NewEngine()
 	if err != nil {

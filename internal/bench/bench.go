@@ -44,6 +44,12 @@ type Workload struct {
 	Candidates int64 `json:"candidates"`
 	// GFLOPS is the achieved simulated throughput.
 	GFLOPS float64 `json:"gflops"`
+	// InferencesPerSec is the end-to-end inference throughput of network
+	// workloads (batch over machine seconds) — the scale-out headline
+	// number. Zero for kernel workloads. Informational like GFLOPS: the
+	// gate compares machine seconds, which for a fixed batch is the same
+	// quantity inverted.
+	InferencesPerSec float64 `json:"inferences_per_sec,omitempty"`
 }
 
 // Snapshot is the full document written by -bench-out.

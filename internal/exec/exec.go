@@ -60,6 +60,12 @@ type Options struct {
 	// exec.fail / exec.fault). Events are observational only: they never
 	// influence timing or results.
 	Observer *obsrv.Observer
+	// GroupLabel, when non-empty, tags exec.run / exec.fail observer events
+	// with the simulated core group executing the program ("group2"). The
+	// fleet runtime sets it so interleaved per-group events stay
+	// attributable; single-machine runs leave it empty and events are
+	// unchanged.
+	GroupLabel string
 }
 
 // fastLoopThreshold is the minimum extent for fast-forwarding: iterations
@@ -101,16 +107,22 @@ func Run(p *ir.Program, binds map[string]*tensor.Tensor, opt Options) (Result, e
 	res, err := runProgram(p, binds, opt)
 	if err != nil {
 		opt.Metrics.Counter("exec_run_failures_total").Inc()
-		opt.Observer.Emit(obsrv.LevelWarn, "exec.fail",
-			obsrv.F("program", p.Name), obsrv.F("error", err))
+		fields := []obsrv.Field{obsrv.F("program", p.Name), obsrv.F("error", err)}
+		if opt.GroupLabel != "" {
+			fields = append(fields, obsrv.F("group", opt.GroupLabel))
+		}
+		opt.Observer.Emit(obsrv.LevelWarn, "exec.fail", fields...)
 		return res, err
 	}
 	opt.Metrics.Histogram("exec_run_seconds", metrics.TimeBuckets...).Observe(res.Seconds)
 	opt.Metrics.Gauge("exec_machine_seconds").Add(res.Seconds)
 	if opt.Observer.Enabled() {
-		opt.Observer.Emit(obsrv.LevelDebug, "exec.run",
-			obsrv.F("program", p.Name), obsrv.Ms("seconds_ms", res.Seconds),
-			obsrv.F("functional", opt.Functional))
+		fields := []obsrv.Field{obsrv.F("program", p.Name), obsrv.Ms("seconds_ms", res.Seconds),
+			obsrv.F("functional", opt.Functional)}
+		if opt.GroupLabel != "" {
+			fields = append(fields, obsrv.F("group", opt.GroupLabel))
+		}
+		opt.Observer.Emit(obsrv.LevelDebug, "exec.run", fields...)
 	}
 	return res, nil
 }

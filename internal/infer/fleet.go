@@ -1,0 +1,917 @@
+package infer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"swatop/internal/cluster"
+	"swatop/internal/gemm"
+	"swatop/internal/graph"
+	"swatop/internal/sw26010"
+	"swatop/internal/tensor"
+	"swatop/internal/trace"
+)
+
+// This file is the core-group fleet runtime: the scale-out path of Run when
+// Options.Groups > 1. Both modes keep the repo's determinism invariant by
+// construction — schedules resolve sequentially up front, every group
+// executes on its own machine with its own tensor table, concurrent groups
+// write metrics only under disjoint cluster.GroupPrefix names, and all
+// aggregation (counters, timelines, the fleet clock) happens after the
+// groups join, in fixed group order.
+
+// runFleet validates the fleet configuration and dispatches to the mode.
+func (e *Engine) runFleet(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Groups > sw26010.NumCG {
+		return nil, fmt.Errorf("infer %s: %d groups, but one SW26010 node has %d core groups",
+			g.Name, opts.Groups, sw26010.NumCG)
+	}
+	if opts.Builder == nil {
+		return nil, fmt.Errorf("infer %s: fleet mode needs Options.Builder to rebuild the net at shard batch sizes", g.Name)
+	}
+	if opts.Pipeline {
+		return e.runPipeline(ctx, g, opts)
+	}
+	return e.runDataParallel(ctx, g, opts)
+}
+
+// buildShard rebuilds and validates the network at a shard batch size.
+func buildShard(g *graph.Graph, opts Options, batch int) (*graph.Graph, error) {
+	sg, err := opts.Builder(batch)
+	if err != nil {
+		return nil, fmt.Errorf("infer %s: building batch-%d shard: %w", g.Name, batch, err)
+	}
+	if err := sg.Validate(); err != nil {
+		return nil, fmt.Errorf("infer %s: batch-%d shard: %w", g.Name, batch, err)
+	}
+	if sg.Batch != batch {
+		return nil, fmt.Errorf("infer %s: Builder(%d) built a batch-%d graph", g.Name, batch, sg.Batch)
+	}
+	return sg, nil
+}
+
+// batchDim returns the tensor's batch extent, checking the repo-wide
+// batch-last convention the fleet's shard/merge copies rely on.
+func batchDim(dims []int, batch int) (int, error) {
+	if len(dims) == 0 || dims[len(dims)-1] != batch {
+		return 0, fmt.Errorf("tensor dims %v do not end in the batch extent %d", dims, batch)
+	}
+	return dims[len(dims)-1], nil
+}
+
+// copyBatchSlice copies src's batch columns [off, off+n) into dst's batch
+// columns [0, n) — or the reverse offsets when gathering (dstOff). Both
+// tensors share the same logical flat order with batch as the fastest
+// dimension, so the copy is layout- and reshape-agnostic.
+func copyBatchSlice(dst *tensor.Tensor, dstB, dstOff int, src *tensor.Tensor, srcB, srcOff, n int) {
+	outer := src.Len() / srcB
+	for o := 0; o < outer; o++ {
+		for b := 0; b < n; b++ {
+			setFlat(dst, atFlat(src, o*srcB+srcOff+b), o*dstB+dstOff+b)
+		}
+	}
+}
+
+// fullInput builds the whole-batch input tensor a functional data-parallel
+// run shards from, filled exactly like fillInputs fills the single-machine
+// input.
+func fullInput(g *graph.Graph) *tensor.Tensor {
+	gt, _ := g.Tensor(g.Input)
+	in := tensor.New(g.Input, gt.Dims...)
+	in.FillPattern()
+	for i := range in.Data {
+		in.Data[i] = (in.Data[i] + 4) / 8
+	}
+	return in
+}
+
+// shardPlan is one distinct shard batch size's rebuilt graph, resolved
+// schedules and buffer plan.
+type shardPlan struct {
+	g        *graph.Graph
+	resolved map[string]*resolvedOp
+	plan     Plan
+}
+
+// runGroups executes fn(0..G-1), concurrently unless the serial
+// determinism reference is requested.
+func runGroups(G int, serial bool, fn func(int)) {
+	if serial {
+		for i := 0; i < G; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runDataParallel shards the batch across the groups and runs the net
+// concurrently. Networks whose graph ends in a fully-connected tail take
+// the hybrid path (swCaffe's split: batch-sharded convolutions, then
+// column-sharded fc layers so each group loads only 1/G of the fc weights);
+// everything else runs the full net on every group's shard, fleet time =
+// slowest group plus the modeled gather of the shard outputs.
+func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	G := opts.Groups
+	shards, err := cluster.ShardBatch(g.Batch, G)
+	if err != nil {
+		return nil, fmt.Errorf("infer %s: %w", g.Name, err)
+	}
+	fleet, err := cluster.New(G)
+	if err != nil {
+		return nil, fmt.Errorf("infer %s: %w", g.Name, err)
+	}
+	topo := g.Topo()
+	tailStart, hybrid := hybridTail(g, topo)
+
+	// Resolve schedules once per distinct shard size, sequentially — the
+	// library and tuner are never touched while groups execute. The hybrid
+	// path resolves only the convolution head at shard batch; its fc tail
+	// executes as full-batch column shards resolved separately below.
+	plans := map[int]*shardPlan{}
+	for _, b := range shards {
+		if plans[b] != nil {
+			continue
+		}
+		sg, err := buildShard(g, opts, b)
+		if err != nil {
+			return nil, err
+		}
+		st := sg.Topo()
+		if len(st) != len(topo) {
+			return nil, fmt.Errorf("infer %s: batch-%d shard has %d nodes, the full graph %d",
+				g.Name, b, len(st), len(topo))
+		}
+		nodes := st
+		if hybrid {
+			nodes = st[:tailStart]
+		}
+		resolved, err := e.resolveNodes(ctx, sg, nodes, opts)
+		if err != nil {
+			return nil, err
+		}
+		plans[b] = &shardPlan{g: sg, resolved: resolved, plan: planBuffers(sg)}
+	}
+	if hybrid {
+		return e.runHybridDP(ctx, g, opts, fleet, shards, plans, tailStart)
+	}
+	opts.job.SetDetail(fmt.Sprintf("executing on %d groups", G))
+
+	var fullIn *tensor.Tensor
+	if opts.Functional {
+		if _, err := batchDim(mustDims(g, g.Input), g.Batch); err != nil {
+			return nil, fmt.Errorf("infer %s: input: %w", g.Name, err)
+		}
+		if _, err := batchDim(mustDims(g, g.Output), g.Batch); err != nil {
+			return nil, fmt.Errorf("infer %s: output: %w", g.Name, err)
+		}
+		fullIn = fullInput(g)
+	}
+	offs := make([]int, G)
+	for i := 1; i < G; i++ {
+		offs[i] = offs[i-1] + shards[i-1]
+	}
+
+	groups := make([]*Result, G)
+	errs := make([]error, G)
+	run := func(i int) {
+		sp := plans[shards[i]]
+		ts, err := allocTensors(sp.g, sp.resolved, sp.plan, opts.Functional)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if opts.Functional {
+			// Every shard sees its true slice of the whole-batch input, so
+			// the gathered output is the whole-batch answer.
+			fillInputs(sp.g, ts)
+			copyBatchSlice(ts[sp.g.Input], shards[i], 0, fullIn, g.Batch, offs[i], shards[i])
+		}
+		env := execEnv{
+			m:            fleet.Machine(i),
+			reg:          opts.Metrics.Scope(cluster.GroupPrefix(i)),
+			obs:          opts.Observer,
+			group:        i,
+			functional:   opts.Functional,
+			tolerance:    opts.Tolerance,
+			skipBaseline: true,
+		}
+		res := &Result{Net: sp.g.Name, Batch: shards[i], FLOPs: sp.g.FLOPs(), Plan: sp.plan}
+		timeline := &trace.Log{}
+		if err := e.execNodes(ctx, sp.g, sp.g.Topo(), sp.resolved, ts, res, timeline, env); err != nil {
+			errs[i] = err
+			return
+		}
+		res.Seconds = env.m.Elapsed()
+		res.Timeline = timeline
+		if opts.Functional {
+			res.Output = ts[sp.g.Output]
+		}
+		groups[i] = res
+	}
+	runGroups(G, opts.serialFleet, run)
+	for i := 0; i < G; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+
+	// Aggregate in fixed group order — the join point where the fleet
+	// becomes deterministic regardless of goroutine interleaving.
+	res := &Result{
+		Net: g.Name, Batch: g.Batch, FLOPs: g.FLOPs(),
+		Plan: plans[shards[0]].plan, Mode: ModeDataParallel,
+		Layers: groups[0].Layers,
+	}
+	maxSecs := 0.0
+	timeline := &trace.Log{}
+	var agg sw26010.Counters
+	for i, gr := range groups {
+		if gr.Seconds > maxSecs {
+			maxSecs = gr.Seconds
+		}
+		timeline.MergeGroup(i, 0, gr.Timeline)
+		agg.Accumulate(fleet.Machine(i).Counters)
+		res.TunedOps += gr.TunedOps
+		res.CachedOps += gr.CachedOps
+		res.DegradedOps += gr.DegradedOps
+		res.Groups = append(res.Groups, GroupResult{
+			Group: i, Batch: shards[i], Seconds: gr.Seconds,
+			Counters: fleet.Machine(i).Counters,
+		})
+	}
+	outBytes := int64(elemCount(mustDims(g, g.Output))) * 4
+	res.CommSeconds = cluster.GatherSeconds(outBytes, G)
+	timeline.AddGroup(0, trace.KindComm, "gather outputs", maxSecs, res.CommSeconds)
+	res.Seconds = maxSecs + res.CommSeconds
+	res.Counters = agg
+	res.Timeline = timeline
+
+	if opts.Functional {
+		gt, _ := g.Tensor(g.Output)
+		out := tensor.New(g.Output, gt.Dims...)
+		for i, gr := range groups {
+			copyBatchSlice(out, g.Batch, offs[i], gr.Output, shards[i], 0, shards[i])
+		}
+		res.Output = out
+	}
+	publishFleet(opts, fleet, res)
+	return res, nil
+}
+
+// hybridTail locates the fully-connected tail of a graph and reports
+// whether the hybrid data-parallel split applies: a suffix of the topo
+// order, starting at the first Gemm node, forming a single chain of Gemm
+// and ReLU nodes whose output features vectorize. This is swCaffe's hybrid
+// parallelism: convolutions are compute-bound and shard well by batch, but
+// fully-connected layers are weight-DMA-bound — running them whole on
+// every group would reload the full weight matrices G times and cap the
+// fleet speedup, so they shard by output columns instead.
+func hybridTail(g *graph.Graph, topo []*graph.Node) (int, bool) {
+	start := -1
+	for i, n := range topo {
+		if n.Kind == graph.Gemm {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return 0, false
+	}
+	cur := g.Input
+	if start > 0 {
+		cur = topo[start-1].Out
+	}
+	for _, n := range topo[start:] {
+		switch n.Kind {
+		case graph.Gemm:
+			if len(n.In) != 2 || n.In[0] != cur || n.Gemm.M%sw26010.VectorWidth != 0 {
+				return 0, false
+			}
+		case graph.ReLU:
+			if len(n.In) != 1 || n.In[0] != cur {
+				return 0, false
+			}
+		default:
+			return 0, false
+		}
+		cur = n.Out
+	}
+	return start, true
+}
+
+// shardCols splits m output features across G groups in whole vector
+// blocks, extras to the leading groups — every shard stays vectorizable
+// and a trailing group may legitimately receive zero columns of a tiny
+// layer (it just sits that phase out).
+func shardCols(m, G int) []int {
+	blocks := m / sw26010.VectorWidth
+	base, extra := blocks/G, blocks%G
+	w := make([]int, G)
+	for i := range w {
+		w[i] = base * sw26010.VectorWidth
+		if i < extra {
+			w[i] += sw26010.VectorWidth
+		}
+	}
+	return w
+}
+
+// miniPlan is one resolved single-node graph of the hybrid fc tail.
+type miniPlan struct {
+	g        *graph.Graph
+	resolved map[string]*resolvedOp
+	plan     Plan
+}
+
+// tailPlan is one fc-tail node's sharding: per-group column widths and the
+// resolved mini graph per distinct width (key 0 for the unsharded
+// elementwise ops). fullW carries the functional-mode full weight values
+// the shards slice their rows from.
+type tailPlan struct {
+	node   *graph.Node
+	widths []int
+	offs   []int
+	minis  map[int]*miniPlan
+	fullW  *tensor.Tensor
+}
+
+// buildGemmShard builds the single-node graph of one group's column shard
+// of a fully-connected layer: out[width×B] = weight[width×K] × in[K×B].
+func buildGemmShard(net string, n *graph.Node, width, batch int) (*graph.Graph, error) {
+	sg := graph.New(fmt.Sprintf("%s_%s_w%d", net, n.Name, width), batch)
+	if _, err := sg.AddTensor("input", []int{n.Gemm.K, batch}, false); err != nil {
+		return nil, err
+	}
+	sg.Input = "input"
+	if _, err := sg.AddTensor("weight", []int{width, n.Gemm.K}, true); err != nil {
+		return nil, err
+	}
+	if _, err := sg.AddTensor("out", []int{width, batch}, false); err != nil {
+		return nil, err
+	}
+	if err := sg.AddNode(&graph.Node{
+		Name: n.Name, Kind: graph.Gemm, In: []string{"input", "weight"}, Out: "out",
+		Gemm: gemm.Params{M: width, N: batch, K: n.Gemm.K},
+	}); err != nil {
+		return nil, err
+	}
+	sg.Output = "out"
+	return sg, sg.Validate()
+}
+
+// buildEltwiseShard builds the single-node graph of a tail elementwise op
+// over the full activation (every group runs it redundantly after the
+// all-gather, like the duplicated activations of tensor parallelism).
+func buildEltwiseShard(net string, n *graph.Node, feats, batch int) (*graph.Graph, error) {
+	sg := graph.New(fmt.Sprintf("%s_%s_full", net, n.Name), batch)
+	if _, err := sg.AddTensor("input", []int{feats, batch}, false); err != nil {
+		return nil, err
+	}
+	sg.Input = "input"
+	if _, err := sg.AddTensor("out", []int{feats, batch}, false); err != nil {
+		return nil, err
+	}
+	if err := sg.AddNode(&graph.Node{
+		Name: n.Name, Kind: n.Kind, In: []string{"input"}, Out: "out",
+	}); err != nil {
+		return nil, err
+	}
+	sg.Output = "out"
+	return sg, sg.Validate()
+}
+
+// sliceRows copies rows [off, off+w) of the full [M,K] weight into a
+// shard's [w,K] weight through the logical flat order, so the shard
+// computes exactly its slice of the single-machine layer.
+func sliceRows(dst, src *tensor.Tensor, off, w, k int) {
+	for m := 0; m < w; m++ {
+		for j := 0; j < k; j++ {
+			setFlat(dst, atFlat(src, (off+m)*k+j), m*k+j)
+		}
+	}
+}
+
+// gatherRows copies a shard's [w,B] output into rows [off, off+w) of the
+// full [M,B] activation.
+func gatherRows(dst, src *tensor.Tensor, off, w, b int) {
+	for m := 0; m < w; m++ {
+		for j := 0; j < b; j++ {
+			setFlat(dst, atFlat(src, m*b+j), (off+m)*b+j)
+		}
+	}
+}
+
+// addCommEvents stamps one cross-group collective on every group's
+// timeline row.
+func addCommEvents(l *trace.Log, G int, name string, start, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	for i := 0; i < G; i++ {
+		l.AddGroup(i, trace.KindComm, name, start, dur)
+	}
+}
+
+// runHybridDP executes the hybrid data-parallel split: the convolution
+// head runs batch-sharded (each group its slice of the batch), the
+// activations are all-gathered, and the fully-connected tail runs
+// column-sharded at the full batch — each group loads 1/G of the fc
+// weights, which is what lets a weight-DMA-bound tail scale with the
+// fleet. Every tail layer is a lockstep phase joined by a barrier, so the
+// fleet clock and all aggregates are computed in fixed group order from
+// per-machine simulated quantities: bit-identical across worker counts
+// and goroutine interleavings.
+func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
+	fleet *cluster.Fleet, shards []int, plans map[int]*shardPlan, tailStart int) (*Result, error) {
+	G := opts.Groups
+	topo := g.Topo()
+	B := g.Batch
+
+	// Column shards and resolved mini graphs for every tail node —
+	// sequential, like all schedule resolution.
+	tails := make([]*tailPlan, 0, len(topo)-tailStart)
+	for _, n := range topo[tailStart:] {
+		tp := &tailPlan{node: n, minis: map[int]*miniPlan{}}
+		if n.Kind == graph.Gemm {
+			tp.widths = shardCols(n.Gemm.M, G)
+			tp.offs = make([]int, G)
+			for i := 1; i < G; i++ {
+				tp.offs[i] = tp.offs[i-1] + tp.widths[i-1]
+			}
+			for _, w := range tp.widths {
+				if w == 0 || tp.minis[w] != nil {
+					continue
+				}
+				mg, err := buildGemmShard(g.Name, n, w, B)
+				if err != nil {
+					return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+				}
+				resolved, err := e.resolveNodes(ctx, mg, mg.Topo(), opts)
+				if err != nil {
+					return nil, err
+				}
+				tp.minis[w] = &miniPlan{g: mg, resolved: resolved, plan: planBuffers(mg)}
+			}
+			if opts.Functional {
+				fw := tensor.New(n.In[1], mustDims(g, n.In[1])...)
+				fw.FillPattern()
+				scale := 1 / (4 * float32(n.Gemm.K))
+				for i := range fw.Data {
+					fw.Data[i] *= scale
+				}
+				tp.fullW = fw
+			}
+		} else {
+			feats := elemCount(mustDims(g, n.Out)) / B
+			mg, err := buildEltwiseShard(g.Name, n, feats, B)
+			if err != nil {
+				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+			}
+			tp.minis[0] = &miniPlan{g: mg, resolved: map[string]*resolvedOp{}, plan: planBuffers(mg)}
+		}
+		tails = append(tails, tp)
+	}
+	opts.job.SetDetail(fmt.Sprintf("executing on %d groups (hybrid fc tail)", G))
+
+	var fullIn *tensor.Tensor
+	if opts.Functional {
+		if _, err := batchDim(mustDims(g, g.Input), B); err != nil {
+			return nil, fmt.Errorf("infer %s: input: %w", g.Name, err)
+		}
+		fullIn = fullInput(g)
+	}
+	offs := make([]int, G)
+	for i := 1; i < G; i++ {
+		offs[i] = offs[i-1] + shards[i-1]
+	}
+	envs := make([]execEnv, G)
+	for i := 0; i < G; i++ {
+		envs[i] = execEnv{
+			m:            fleet.Machine(i),
+			reg:          opts.Metrics.Scope(cluster.GroupPrefix(i)),
+			obs:          opts.Observer,
+			group:        i,
+			functional:   opts.Functional,
+			tolerance:    opts.Tolerance,
+			skipBaseline: true,
+		}
+	}
+
+	res := &Result{
+		Net: g.Name, Batch: B, FLOPs: g.FLOPs(),
+		Plan: plans[shards[0]].plan, Mode: ModeDataParallel,
+	}
+	timeline := &trace.Log{}
+	errs := make([]error, G)
+
+	// Phase 1: the convolution head, batch-sharded exactly like the pure
+	// data-parallel path.
+	headOut := g.Input
+	if tailStart > 0 {
+		headOut = topo[tailStart-1].Out
+	}
+	headRes := make([]*Result, G)
+	headFeat := make([]*tensor.Tensor, G)
+	runGroups(G, opts.serialFleet, func(i int) {
+		sp := plans[shards[i]]
+		ts, err := allocTensors(sp.g, sp.resolved, sp.plan, opts.Functional)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if opts.Functional {
+			fillInputs(sp.g, ts)
+			copyBatchSlice(ts[sp.g.Input], shards[i], 0, fullIn, B, offs[i], shards[i])
+		}
+		r := &Result{}
+		log := &trace.Log{}
+		if err := e.execNodes(ctx, sp.g, sp.g.Topo()[:tailStart], sp.resolved, ts, r, log, envs[i]); err != nil {
+			errs[i] = err
+			return
+		}
+		r.Timeline = log
+		headRes[i] = r
+		if opts.Functional {
+			headFeat[i] = ts[headOut]
+		}
+	})
+	for i := 0; i < G; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	clock := 0.0
+	for i := 0; i < G; i++ {
+		if now := fleet.Machine(i).Now(); now > clock {
+			clock = now
+		}
+		timeline.MergeGroup(i, 0, headRes[i].Timeline)
+		res.TunedOps += headRes[i].TunedOps
+		res.CachedOps += headRes[i].CachedOps
+		res.DegradedOps += headRes[i].DegradedOps
+	}
+	res.Layers = append(res.Layers, headRes[0].Layers...)
+
+	var fullAct *tensor.Tensor
+	if opts.Functional {
+		if tailStart == 0 {
+			fullAct = fullIn
+		} else {
+			fullAct = tensor.New(headOut, mustDims(g, headOut)...)
+			for i := 0; i < G; i++ {
+				copyBatchSlice(fullAct, B, offs[i], headFeat[i], shards[i], 0, shards[i])
+			}
+		}
+	}
+	var comm float64
+	if tailStart > 0 {
+		step := cluster.AllGatherSeconds(int64(elemCount(mustDims(g, headOut)))*4, G)
+		addCommEvents(timeline, G, "allgather "+headOut, clock, step)
+		clock += step
+		comm += step
+	}
+
+	// Phase 2: the fc tail. Each layer is one lockstep phase — shard gemms
+	// (or the redundant full elementwise op), barrier, then the modeled
+	// collective: all-gather between layers, a plain gather onto the lead
+	// group for the final output.
+	for ti, tp := range tails {
+		n := tp.node
+		phaseStart := clock
+		durs := make([]float64, G)
+		t0s := make([]float64, G)
+		logs := make([]*trace.Log, G)
+		rs := make([]*Result, G)
+		outs := make([]*tensor.Tensor, G)
+		runGroups(G, opts.serialFleet, func(i int) {
+			key := 0
+			if n.Kind == graph.Gemm {
+				if tp.widths[i] == 0 {
+					return
+				}
+				key = tp.widths[i]
+			}
+			mp := tp.minis[key]
+			ts, err := allocTensors(mp.g, mp.resolved, mp.plan, opts.Functional)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if opts.Functional {
+				copyFlat(ts[mp.g.Input], fullAct)
+				if n.Kind == graph.Gemm {
+					sliceRows(ts["weight"], tp.fullW, tp.offs[i], tp.widths[i], n.Gemm.K)
+				}
+			}
+			t0 := envs[i].m.Now()
+			r := &Result{}
+			log := &trace.Log{}
+			if err := e.execNodes(ctx, mp.g, mp.g.Topo(), mp.resolved, ts, r, log, envs[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			t0s[i] = t0
+			durs[i] = envs[i].m.Now() - t0
+			logs[i] = log
+			rs[i] = r
+			if opts.Functional {
+				outs[i] = ts[mp.g.Output]
+			}
+		})
+		for i := 0; i < G; i++ {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		dmax := 0.0
+		for i := 0; i < G; i++ {
+			if rs[i] == nil {
+				continue
+			}
+			if durs[i] > dmax {
+				dmax = durs[i]
+			}
+			timeline.MergeGroup(i, phaseStart-t0s[i], logs[i])
+			res.TunedOps += rs[i].TunedOps
+			res.CachedOps += rs[i].CachedOps
+			res.DegradedOps += rs[i].DegradedOps
+		}
+		// One report line per net layer: the lead group's shard run,
+		// restamped onto the fleet clock, carrying the whole layer's FLOPs.
+		layer := rs[0].Layers[0]
+		layer.Start = phaseStart
+		if n.Kind == graph.Gemm {
+			layer.FLOPs = n.Gemm.FLOPs()
+		}
+		res.Layers = append(res.Layers, layer)
+		clock = phaseStart + dmax
+		if n.Kind == graph.Gemm {
+			bytes := int64(elemCount(mustDims(g, n.Out))) * 4
+			var step float64
+			var what string
+			if ti == len(tails)-1 {
+				step = cluster.GatherSeconds(bytes, G)
+				what = "gather " + n.Name
+			} else {
+				step = cluster.AllGatherSeconds(bytes, G)
+				what = "allgather " + n.Name
+			}
+			addCommEvents(timeline, G, what, clock, step)
+			clock += step
+			comm += step
+		}
+		if opts.Functional {
+			if n.Kind == graph.Gemm {
+				act := tensor.New(n.Out, mustDims(g, n.Out)...)
+				for i := 0; i < G; i++ {
+					if outs[i] == nil {
+						continue
+					}
+					gatherRows(act, outs[i], tp.offs[i], tp.widths[i], B)
+				}
+				fullAct = act
+			} else {
+				fullAct = outs[0]
+			}
+		}
+	}
+
+	res.Seconds = clock
+	res.CommSeconds = comm
+	var agg sw26010.Counters
+	for i := 0; i < G; i++ {
+		agg.Accumulate(fleet.Machine(i).Counters)
+		res.Groups = append(res.Groups, GroupResult{
+			Group: i, Batch: shards[i], Seconds: fleet.Machine(i).Elapsed(),
+			Counters: fleet.Machine(i).Counters,
+		})
+	}
+	res.Counters = agg
+	res.Timeline = timeline
+	if opts.Functional {
+		res.Output = fullAct
+	}
+	publishFleet(opts, fleet, res)
+	return res, nil
+}
+
+// runPipeline partitions the net into Groups balanced stages by per-layer
+// tuned cost and streams Batch micro-batches of size 1 through them. The
+// fleet time comes from the pipeline schedule over measured per-stage
+// micro-batch durations and modeled stage hand-offs. Timed-only.
+func (e *Engine) runPipeline(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Functional {
+		return nil, fmt.Errorf("infer %s: pipeline mode is timed-only (activations stream between groups; use data parallelism for functional runs)", g.Name)
+	}
+	G := opts.Groups
+	M := g.Batch // micro-batch size 1: one micro-batch per sample
+	mg, err := buildShard(g, opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	topo := mg.Topo()
+	if len(topo) < G {
+		return nil, fmt.Errorf("infer %s: %d nodes cannot fill %d pipeline stages", g.Name, len(topo), G)
+	}
+	resolved, err := e.resolveAll(ctx, mg, opts)
+	if err != nil {
+		return nil, err
+	}
+	plan := planBuffers(mg)
+
+	// Probe pass: one sequential micro-batch on a scratch machine yields
+	// the per-layer tuned costs the partitioner balances. Purely simulated
+	// quantities, so the partition is deterministic.
+	opts.job.SetDetail("partitioning pipeline stages")
+	probeTs, err := allocTensors(mg, resolved, plan, false)
+	if err != nil {
+		return nil, err
+	}
+	probe := &Result{}
+	probeEnv := execEnv{m: sw26010.NewMachine(), group: -1, skipBaseline: true}
+	if err := e.execNodes(ctx, mg, topo, resolved, probeTs, probe, &trace.Log{}, probeEnv); err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(probe.Layers))
+	for i, l := range probe.Layers {
+		costs[i] = l.Seconds
+	}
+	stages, err := cluster.PartitionBalanced(costs, G)
+	if err != nil {
+		return nil, fmt.Errorf("infer %s: %w", g.Name, err)
+	}
+	xfer := make([]float64, G-1)
+	for s := 0; s < G-1; s++ {
+		xfer[s] = cluster.StageTransferSeconds(cutBytes(mg, topo, stages[s][1]))
+	}
+
+	// Execute: stage s runs its node range M times on group s's machine.
+	// Stages are independent machines, so they run concurrently; the
+	// schedule joins them afterwards in fixed order.
+	opts.job.SetDetail(fmt.Sprintf("executing %d stages x %d micro-batches", G, M))
+	fleet, err := cluster.New(G)
+	if err != nil {
+		return nil, fmt.Errorf("infer %s: %w", g.Name, err)
+	}
+	d := make([][]float64, G)
+	segStart := make([][]float64, G)
+	segLogs := make([][]*trace.Log, G)
+	stageLayers := make([][]Layer, G)
+	errs := make([]error, G)
+	run := func(s int) {
+		ts, err := allocTensors(mg, resolved, plan, false)
+		if err != nil {
+			errs[s] = err
+			return
+		}
+		env := execEnv{
+			m:            fleet.Machine(s),
+			reg:          opts.Metrics.Scope(cluster.GroupPrefix(s)),
+			obs:          opts.Observer,
+			group:        s,
+			skipBaseline: true,
+		}
+		nodes := topo[stages[s][0]:stages[s][1]]
+		d[s] = make([]float64, M)
+		segStart[s] = make([]float64, M)
+		segLogs[s] = make([]*trace.Log, M)
+		for mi := 0; mi < M; mi++ {
+			t0 := env.m.Now()
+			log := &trace.Log{}
+			r := &Result{}
+			if err := e.execNodes(ctx, mg, nodes, resolved, ts, r, log, env); err != nil {
+				errs[s] = err
+				return
+			}
+			d[s][mi] = env.m.Now() - t0
+			segStart[s][mi] = t0
+			segLogs[s][mi] = log
+			if mi == 0 {
+				stageLayers[s] = r.Layers
+			}
+		}
+	}
+	runGroups(G, opts.serialFleet, run)
+	for s := 0; s < G; s++ {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+	}
+
+	sched, err := cluster.SchedulePipeline(d, xfer)
+	if err != nil {
+		return nil, fmt.Errorf("infer %s: %w", g.Name, err)
+	}
+
+	res := &Result{
+		Net: g.Name, Batch: g.Batch, FLOPs: g.FLOPs(), Plan: plan,
+		Mode:        ModePipeline,
+		Seconds:     sched.TotalSeconds,
+		CommSeconds: sched.CommSeconds,
+		Pipeline: &PipelineReport{
+			MicroBatches:   M,
+			BubbleFraction: sched.BubbleFraction,
+		},
+	}
+	timeline := &trace.Log{}
+	var agg sw26010.Counters
+	for s := 0; s < G; s++ {
+		// Rebase each micro-run from its machine-local clock onto the
+		// fleet-schedule clock; intra-run structure shifts rigidly.
+		for mi := 0; mi < M; mi++ {
+			timeline.MergeGroup(s, sched.Start[s][mi]-segStart[s][mi], segLogs[s][mi])
+			if s < G-1 && xfer[s] > 0 {
+				timeline.AddGroup(s, trace.KindComm,
+					fmt.Sprintf("stage %d->%d", s, s+1), sched.Finish[s][mi], xfer[s])
+			}
+		}
+		agg.Accumulate(fleet.Machine(s).Counters)
+		stage := StageReport{Group: s, Seconds: d[s][0]}
+		for _, n := range topo[stages[s][0]:stages[s][1]] {
+			stage.Nodes = append(stage.Nodes, n.Name)
+		}
+		if s < G-1 {
+			stage.TransferSeconds = xfer[s]
+		}
+		res.Pipeline.Stages = append(res.Pipeline.Stages, stage)
+		res.Groups = append(res.Groups, GroupResult{
+			Group: s, Batch: 1, Seconds: sched.BusySeconds[s],
+			Counters: fleet.Machine(s).Counters,
+		})
+		// Fleet-clock layer views for micro-batch 0.
+		for _, l := range stageLayers[s] {
+			l.Start += sched.Start[s][0] - segStart[s][0]
+			res.Layers = append(res.Layers, l)
+		}
+	}
+	// Resolution counts describe the net once, not once per micro-batch:
+	// take them from the probe pass.
+	res.TunedOps = probe.TunedOps
+	res.CachedOps = probe.CachedOps
+	res.DegradedOps = probe.DegradedOps
+	res.Counters = agg
+	res.Timeline = timeline
+	publishFleet(opts, fleet, res)
+	return res, nil
+}
+
+// cutBytes sums the bytes of intermediate activations crossing the stage
+// boundary before topo index cut: tensors produced by a node before the cut
+// and read by a node at or after it. Parameters and the graph input stay
+// resident on their stage's group and do not transfer.
+func cutBytes(g *graph.Graph, topo []*graph.Node, cut int) int64 {
+	producer := map[string]int{}
+	for i, n := range topo {
+		producer[n.Out] = i
+	}
+	seen := map[string]bool{}
+	var bytes int64
+	for j := cut; j < len(topo); j++ {
+		for _, in := range topo[j].In {
+			p, ok := producer[in]
+			if !ok || p >= cut || seen[in] {
+				continue
+			}
+			seen[in] = true
+			bytes += int64(elemCount(mustDims(g, in))) * 4
+		}
+	}
+	return bytes
+}
+
+// mustDims returns a graph tensor's logical dims (validated graphs always
+// have their tensors declared).
+func mustDims(g *graph.Graph, name string) []int {
+	t, _ := g.Tensor(name)
+	return t.Dims
+}
+
+// publishFleet writes a fleet run's instrumentation: per-group and
+// aggregate machine counters (cluster.Fleet.Publish), the aggregate run
+// gauges, and the fleet's DMA-hidden ratio measured over the merged
+// timeline. Called after the groups join, sequentially — metric values are
+// pure simulated-machine quantities, so snapshots stay bit-identical across
+// worker counts and interleavings.
+func publishFleet(opts Options, fleet *cluster.Fleet, res *Result) {
+	if opts.Metrics == nil {
+		return
+	}
+	fleet.Publish(opts.Metrics)
+	opts.Metrics.Gauge("infer_arena_peak_bytes").Set(float64(res.Plan.PeakActivationBytes()))
+	opts.Metrics.Gauge("infer_machine_seconds").Add(res.Seconds)
+	opts.Metrics.Gauge("infer_comm_seconds").Set(res.CommSeconds)
+	if dma := res.Timeline.BusyTime(trace.KindDMA); dma > 0 {
+		opts.Metrics.Gauge("infer_dma_hidden_ratio").
+			Set(res.Timeline.Overlap(trace.KindGemm, trace.KindDMA) / dma)
+	}
+}

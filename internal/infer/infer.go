@@ -104,6 +104,29 @@ type Options struct {
 	// are identical with and without an observer attached.
 	Observer *obsrv.Observer
 
+	// Groups scales the run out across a fleet of simulated core groups
+	// (1..sw26010.NumCG — one SW26010 node). 0 or 1 keeps today's
+	// single-machine path exactly. Fleet runs need Builder set and force
+	// SkipBaseline; schedules still resolve sequentially up front, only
+	// execution parallelizes, and per-group machine seconds stay
+	// bit-identical across worker counts and goroutine interleavings.
+	Groups int
+	// Pipeline switches a fleet run (Groups >= 2) from data parallelism
+	// (the batch sharded across groups, each running the full net) to layer
+	// pipelining: the net is partitioned into Groups balanced stages by
+	// per-layer tuned cost and micro-batches of size 1 stream through them.
+	// Timed-only: functional pipeline runs are rejected.
+	Pipeline bool
+	// Builder rebuilds the network at a different batch size (the facade
+	// passes a graph.ByName closure). Fleet modes need it: data parallelism
+	// runs shard-sized graphs, pipelining runs the batch-1 micro graph.
+	Builder func(batch int) (*graph.Graph, error)
+
+	// serialFleet forces fleet groups to execute sequentially instead of on
+	// goroutines — the determinism reference the race stress test compares
+	// concurrent runs against.
+	serialFleet bool
+
 	// job is the live job Run registers; internal so resolveAll can update
 	// progress without re-deriving state.
 	job *obsrv.Job
@@ -143,13 +166,59 @@ func (l Layer) GFLOPS() float64 {
 	return float64(l.FLOPs) / l.Seconds / 1e9
 }
 
+// Execution modes a Result can report.
+const (
+	ModeSingle       = "single"
+	ModeDataParallel = "data-parallel"
+	ModePipeline     = "pipeline"
+)
+
+// GroupResult is one core group's share of a fleet run.
+type GroupResult struct {
+	// Group is the core-group index (metrics for it carry the
+	// cluster.GroupPrefix namespace).
+	Group int
+	// Batch is the group's shard size in data-parallel mode, or the
+	// micro-batch size (1) in pipeline mode.
+	Batch int
+	// Seconds is the group's own machine time: its full Elapsed() in
+	// data-parallel mode, its summed stage-busy time in pipeline mode.
+	Seconds  float64
+	Counters sw26010.Counters
+}
+
+// StageReport is one pipeline stage of a pipelined fleet run.
+type StageReport struct {
+	// Group is the core group executing the stage.
+	Group int
+	// Nodes are the topo-order node names of the stage.
+	Nodes []string
+	// Seconds is the stage's execution time for one micro-batch;
+	// TransferSeconds the modeled hand-off of its boundary activations to
+	// the next stage (0 for the last stage).
+	Seconds         float64
+	TransferSeconds float64
+}
+
+// PipelineReport describes a pipelined fleet run's schedule.
+type PipelineReport struct {
+	MicroBatches int
+	Stages       []StageReport
+	// BubbleFraction is the fleet's idle share during the pipeline (fill
+	// and drain); see cluster.PipelineSchedule.
+	BubbleFraction float64
+}
+
 // Result is a completed network run.
 type Result struct {
 	Net    string
 	Batch  int
 	Layers []Layer
-	// Seconds is the total machine time of the network: one shared
-	// machine executes every node, so this is its final Elapsed().
+	// Seconds is the total machine time of the network. On a single
+	// machine every node executes serially, so this is its final
+	// Elapsed(); on a fleet it is the aggregate timeline — max group time
+	// plus the gather in data-parallel mode, the pipeline makespan in
+	// pipeline mode.
 	Seconds float64
 	// BaselineSeconds sums the per-layer manual-library times; Speedup is
 	// their ratio (0 when the baseline was skipped).
@@ -161,11 +230,25 @@ type Result struct {
 	Timeline *trace.Log
 	Counters sw26010.Counters
 	Plan     Plan
-	// Output holds the network output tensor after a functional run.
+	// Output holds the network output tensor after a functional run. A
+	// data-parallel fleet run merges the groups' shard outputs back along
+	// the batch dimension.
 	Output *tensor.Tensor
 	// CachedOps / DegradedOps / TunedOps count schedule resolutions by
-	// kind across the operator nodes.
+	// kind across the operator nodes (summed over groups in a fleet run).
 	TunedOps, CachedOps, DegradedOps int
+	// Mode reports how the run executed: ModeSingle, ModeDataParallel or
+	// ModePipeline.
+	Mode string
+	// CommSeconds is the modeled cross-group communication time of a fleet
+	// run (the output gather, or the summed pipeline stage hand-offs).
+	CommSeconds float64
+	// Groups is the per-group breakdown of a fleet run (nil on the single
+	// path).
+	Groups []GroupResult
+	// Pipeline is the stage partition and bubble report of a pipelined
+	// run (nil otherwise).
+	Pipeline *PipelineReport
 }
 
 // GFLOPS is the whole-network simulated throughput.
@@ -215,6 +298,20 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 			opts.job.Finish(obsrv.JobFailed)
 		}
 	}()
+	if opts.Pipeline && opts.Groups <= 1 {
+		return nil, fmt.Errorf("infer %s: pipeline mode needs at least 2 groups", g.Name)
+	}
+	if opts.Groups > 1 {
+		res, err := e.runFleet(ctx, g, opts)
+		if err != nil {
+			opts.Observer.Emit(obsrv.LevelError, "net.fail",
+				obsrv.F("net", g.Name), obsrv.F("error", err))
+			return nil, err
+		}
+		finishRun(opts, g, res)
+		okDone = true
+		return res, nil
+	}
 	resolved, err := e.resolveAll(ctx, g, opts)
 	if err != nil {
 		opts.Observer.Emit(obsrv.LevelError, "net.fail",
@@ -230,12 +327,97 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 
 	m := sw26010.NewMachine()
 	timeline := &trace.Log{}
-	res := &Result{Net: g.Name, Batch: g.Batch, FLOPs: g.FLOPs(), Plan: plan}
-	baseMemo := map[string]float64{}
+	res := &Result{Net: g.Name, Batch: g.Batch, FLOPs: g.FLOPs(), Plan: plan, Mode: ModeSingle}
+	env := execEnv{
+		m:            m,
+		reg:          opts.Metrics,
+		obs:          opts.Observer,
+		group:        -1,
+		functional:   opts.Functional,
+		tolerance:    opts.Tolerance,
+		skipBaseline: opts.SkipBaseline,
+		baseMemo:     map[string]float64{},
+	}
+	if err := e.execNodes(ctx, g, g.Topo(), resolved, ts, res, timeline, env); err != nil {
+		return nil, err
+	}
 
-	for _, n := range g.Topo() {
+	res.Seconds = m.Elapsed()
+	res.Counters = m.Counters
+	res.Timeline = timeline
+	if !opts.SkipBaseline && res.Seconds > 0 {
+		res.Speedup = res.BaselineSeconds / res.Seconds
+	}
+	if opts.Metrics != nil {
+		res.Counters.Publish(opts.Metrics)
+		opts.Metrics.Gauge("infer_arena_peak_bytes").Set(float64(plan.PeakActivationBytes()))
+		opts.Metrics.Gauge("infer_machine_seconds").Add(res.Seconds)
+		if dma := timeline.BusyTime(trace.KindDMA); dma > 0 {
+			opts.Metrics.Gauge("infer_dma_hidden_ratio").
+				Set(timeline.Overlap(trace.KindGemm, trace.KindDMA) / dma)
+		}
+	}
+	if opts.Functional {
+		res.Output = ts[g.Output]
+	}
+	finishRun(opts, g, res)
+	okDone = true
+	return res, nil
+}
+
+// finishRun emits the net.finish event and closes the run's live job.
+func finishRun(opts Options, g *graph.Graph, res *Result) {
+	if opts.Observer.Enabled() {
+		opts.Observer.Emit(obsrv.LevelInfo, "net.finish",
+			obsrv.F("net", g.Name), obsrv.Ms("seconds_ms", res.Seconds),
+			obsrv.F("gflops", res.GFLOPS()), obsrv.F("speedup", res.Speedup),
+			obsrv.F("tuned", res.TunedOps), obsrv.F("cached", res.CachedOps),
+			obsrv.F("degraded", res.DegradedOps))
+	}
+	state := obsrv.JobDone
+	if res.DegradedOps > 0 {
+		state = obsrv.JobDegraded
+	}
+	opts.job.Finish(state)
+}
+
+// execEnv is one machine's execution context. The single path uses the
+// root registry, no group tag and the run's baseline memo; fleet groups
+// use a scoped registry (cluster.GroupPrefix) and their group index, so
+// concurrent groups touch disjoint metric names and the merged snapshot
+// stays deterministic.
+type execEnv struct {
+	m            *sw26010.Machine
+	reg          *metrics.Registry
+	obs          *obsrv.Observer
+	group        int // >= 0 tags events with the core group; -1 on the single path
+	functional   bool
+	tolerance    float64
+	skipBaseline bool
+	baseMemo     map[string]float64
+}
+
+// label is the group tag threaded into exec observer events ("group2");
+// empty on the single path.
+func (env execEnv) label() string {
+	if env.group < 0 {
+		return ""
+	}
+	return fmt.Sprintf("group%d", env.group)
+}
+
+// execNodes executes nodes (a topo-order slice of g) on env's machine,
+// appending per-layer results and resolution counts into res and merging
+// node timelines (machine-clock times) into timeline. It is the shared
+// execution core of the single-machine path, each data-parallel group and
+// each pipeline stage.
+func (e *Engine) execNodes(ctx context.Context, g *graph.Graph, nodes []*graph.Node,
+	resolved map[string]*resolvedOp, ts map[string]*tensor.Tensor,
+	res *Result, timeline *trace.Log, env execEnv) error {
+	m := env.m
+	for _, n := range nodes {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		start := m.Now()
 		nodeLog := &trace.Log{}
@@ -246,18 +428,19 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 			r := resolved[n.Name]
 			binds, err := opBinds(n, r.prog, ts)
 			if err != nil {
-				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+				return fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
 			}
 			runRes, err := exec.Run(r.prog, binds, exec.Options{
-				Functional: opts.Functional,
-				FastLoops:  !opts.Functional,
+				Functional: env.functional,
+				FastLoops:  !env.functional,
 				Trace:      nodeLog,
 				Machine:    m,
-				Metrics:    opts.Metrics,
-				Observer:   opts.Observer,
+				Metrics:    env.reg,
+				Observer:   env.obs,
+				GroupLabel: env.label(),
 			})
 			if err != nil {
-				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+				return fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
 			}
 			// Each generated kernel owns the whole scratch pad for its
 			// invocation; release it before the successor plans its tiles.
@@ -279,33 +462,33 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 			switch {
 			case r.cached:
 				res.CachedOps++
-				opts.Metrics.Counter("infer_" + kindName + "_cached_total").Inc()
+				env.reg.Counter("infer_" + kindName + "_cached_total").Inc()
 			case r.degraded:
 				res.DegradedOps++
-				opts.Metrics.Counter("infer_" + kindName + "_degraded_total").Inc()
+				env.reg.Counter("infer_" + kindName + "_degraded_total").Inc()
 			default:
 				res.TunedOps++
-				opts.Metrics.Counter("infer_" + kindName + "_tuned_total").Inc()
+				env.reg.Counter("infer_" + kindName + "_tuned_total").Inc()
 			}
 			if r.method != "" {
-				opts.Metrics.Counter("infer_method_" + r.method + "_total").Inc()
+				env.reg.Counter("infer_method_" + r.method + "_total").Inc()
 			}
-			if opts.Functional {
+			if env.functional {
 				maxErr, err := verifyNode(n, ts)
 				if err != nil {
-					return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+					return fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
 				}
 				layer.Checked = true
 				layer.MaxAbsErr = maxErr
-				if maxErr > opts.Tolerance {
-					return nil, fmt.Errorf("infer %s: node %s: max abs error %g exceeds tolerance %g",
-						g.Name, n.Name, maxErr, opts.Tolerance)
+				if maxErr > env.tolerance {
+					return fmt.Errorf("infer %s: node %s: max abs error %g exceeds tolerance %g",
+						g.Name, n.Name, maxErr, env.tolerance)
 				}
 			}
 		default:
-			secs, err := runStub(m, g, n, ts, opts.Functional, nodeLog)
+			secs, err := runStub(m, g, n, ts, env.functional, nodeLog)
 			if err != nil {
-				return nil, fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
+				return fmt.Errorf("infer %s: node %s: %w", g.Name, n.Name, err)
 			}
 			layer.Seconds = secs
 		}
@@ -319,66 +502,49 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 			nodeLog.Annotate("strategy", layer.Strategy)
 		}
 
-		// The shared machine stamps events in network time already; merge
-		// them straight onto the network timeline and keep a per-layer
-		// view rebased to zero.
+		// The machine stamps events in its own clock already; merge them
+		// straight onto the caller's timeline and keep a per-layer view
+		// rebased to zero.
 		timeline.Merge(0, nodeLog)
 		layerLog := &trace.Log{}
 		layerLog.Merge(-start, nodeLog)
 		layer.Trace = layerLog
 
-		if !opts.SkipBaseline {
-			layer.BaselineSeconds = baselineSeconds(n, layer.Seconds, baseMemo)
+		if !env.skipBaseline {
+			layer.BaselineSeconds = baselineSeconds(n, layer.Seconds, env.baseMemo)
 			res.BaselineSeconds += layer.BaselineSeconds
 		}
-		if opts.Observer.Enabled() {
-			opts.Observer.Emit(obsrv.LevelDebug, "layer.run",
-				obsrv.F("node", n.Name), obsrv.F("kind", string(n.Kind)),
-				obsrv.Ms("seconds_ms", layer.Seconds))
+		if env.obs.Enabled() {
+			fields := []obsrv.Field{obsrv.F("node", n.Name), obsrv.F("kind", string(n.Kind)),
+				obsrv.Ms("seconds_ms", layer.Seconds)}
+			if env.group >= 0 {
+				fields = append(fields, obsrv.F("group", env.group))
+			}
+			env.obs.Emit(obsrv.LevelDebug, "layer.run", fields...)
 		}
 		res.Layers = append(res.Layers, layer)
 	}
-
-	res.Seconds = m.Elapsed()
-	res.Counters = m.Counters
-	res.Timeline = timeline
-	if !opts.SkipBaseline && res.Seconds > 0 {
-		res.Speedup = res.BaselineSeconds / res.Seconds
-	}
-	if opts.Metrics != nil {
-		res.Counters.Publish(opts.Metrics)
-		opts.Metrics.Gauge("infer_arena_peak_bytes").Set(float64(plan.PeakActivationBytes()))
-		opts.Metrics.Gauge("infer_machine_seconds").Add(res.Seconds)
-		if dma := timeline.BusyTime(trace.KindDMA); dma > 0 {
-			opts.Metrics.Gauge("infer_dma_hidden_ratio").
-				Set(timeline.Overlap(trace.KindGemm, trace.KindDMA) / dma)
-		}
-	}
-	if opts.Functional {
-		res.Output = ts[g.Output]
-	}
-	if opts.Observer.Enabled() {
-		opts.Observer.Emit(obsrv.LevelInfo, "net.finish",
-			obsrv.F("net", g.Name), obsrv.Ms("seconds_ms", res.Seconds),
-			obsrv.F("gflops", res.GFLOPS()), obsrv.F("speedup", res.Speedup),
-			obsrv.F("tuned", res.TunedOps), obsrv.F("cached", res.CachedOps),
-			obsrv.F("degraded", res.DegradedOps))
-	}
-	state := obsrv.JobDone
-	if res.DegradedOps > 0 {
-		state = obsrv.JobDegraded
-	}
-	opts.job.Finish(state)
-	okDone = true
-	return res, nil
+	return nil
 }
 
 // resolveAll resolves a schedule for every operator node. Repeated shapes
 // (VGG16's conv3_2/conv3_3, …) share one resolution per run even without a
 // library attached.
 func (e *Engine) resolveAll(ctx context.Context, g *graph.Graph, opts Options) (map[string]*resolvedOp, error) {
-	nodes := g.Topo()
-	total := g.CountKind(graph.Conv) + g.CountKind(graph.Gemm)
+	return e.resolveNodes(ctx, g, g.Topo(), opts)
+}
+
+// resolveNodes resolves schedules for the operator nodes in a topo-order
+// subset of the graph — the hybrid data-parallel path resolves a shard
+// graph's convolution head without tuning the fully-connected tail it
+// never executes at the shard batch.
+func (e *Engine) resolveNodes(ctx context.Context, g *graph.Graph, nodes []*graph.Node, opts Options) (map[string]*resolvedOp, error) {
+	total := 0
+	for _, n := range nodes {
+		if n.Kind == graph.Conv || n.Kind == graph.Gemm {
+			total++
+		}
+	}
 	opts.job.SetTotal(total)
 	memo := map[string]*resolvedOp{}
 	out := map[string]*resolvedOp{}

@@ -11,14 +11,14 @@ import (
 	"swatop/internal/workloads"
 )
 
-// tinyChain is a small but structurally complete network: an explicit-GEMM
-// first conv (Ni < MinNiImplicit, like every network's first layer), two
-// implicit convs across a pooling transition, then a pooled + flattened
-// fully-connected tail — every node kind the VGG16 graph uses, at sizes a
-// functional run can afford.
-func tinyChain(t *testing.T, batch int) *graph.Graph {
-	t.Helper()
-	g, err := graph.Chain("tiny", batch,
+// tinyBuilder builds a small but structurally complete network: an
+// explicit-GEMM first conv (Ni < MinNiImplicit, like every network's first
+// layer), two implicit convs across a pooling transition, then a pooled +
+// flattened fully-connected tail — every node kind the VGG16 graph uses, at
+// sizes a functional run can afford. It doubles as the Options.Builder of
+// the fleet tests.
+func tinyBuilder(batch int) (*graph.Graph, error) {
+	return graph.Chain("tiny", batch,
 		[]workloads.ConvLayer{
 			{Net: "tiny", Name: "c1", Ni: 3, No: 16, R: 8, K: 3},
 			{Net: "tiny", Name: "c2", Ni: 16, No: 16, R: 8, K: 3},
@@ -30,6 +30,11 @@ func tinyChain(t *testing.T, batch int) *graph.Graph {
 			// epilogue for the M dimension.
 			{Net: "tiny", Name: "f2", In: 32, Out: 12},
 		})
+}
+
+func tinyChain(t *testing.T, batch int) *graph.Graph {
+	t.Helper()
+	g, err := tinyBuilder(batch)
 	if err != nil {
 		t.Fatal(err)
 	}

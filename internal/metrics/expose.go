@@ -33,35 +33,49 @@ type Snapshot struct {
 }
 
 // Snapshot copies the registry's current values. Nil-safe: a nil registry
-// yields an empty snapshot.
+// yields an empty snapshot. On a scoped view (Scope) only the metrics
+// under the view's prefix are included, under their full (prefixed) names.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{}
 	if r == nil {
 		return s
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.help) > 0 {
-		s.Help = make(map[string]string, len(r.help))
-		for name, text := range r.help {
-			s.Help[name] = text
+	b := r.base()
+	inScope := func(name string) bool {
+		return r.prefix == "" || strings.HasPrefix(name, r.prefix)
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.help) > 0 {
+		s.Help = make(map[string]string, len(b.help))
+		for name, text := range b.help {
+			if inScope(name) {
+				s.Help[name] = text
+			}
 		}
 	}
-	if len(r.counters) > 0 {
-		s.Counters = make(map[string]int64, len(r.counters))
-		for name, c := range r.counters {
-			s.Counters[name] = c.Value()
+	if len(b.counters) > 0 {
+		s.Counters = make(map[string]int64, len(b.counters))
+		for name, c := range b.counters {
+			if inScope(name) {
+				s.Counters[name] = c.Value()
+			}
 		}
 	}
-	if len(r.gauges) > 0 {
-		s.Gauges = make(map[string]float64, len(r.gauges))
-		for name, g := range r.gauges {
-			s.Gauges[name] = g.Value()
+	if len(b.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(b.gauges))
+		for name, g := range b.gauges {
+			if inScope(name) {
+				s.Gauges[name] = g.Value()
+			}
 		}
 	}
-	if len(r.hists) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
-		for name, h := range r.hists {
+	if len(b.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(b.hists))
+		for name, h := range b.hists {
+			if !inScope(name) {
+				continue
+			}
 			hs := HistogramSnapshot{
 				Count:  h.Count(),
 				Sum:    h.Sum(),

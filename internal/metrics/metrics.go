@@ -153,12 +153,26 @@ var TimeBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 // Registry holds named metrics. The zero value is not usable; call
 // NewRegistry. A nil *Registry is inert: every lookup returns a nil metric
 // whose methods are no-ops.
+//
+// A Registry value is either a root (owning the metric maps) or a scoped
+// view created by Scope: the view shares the root's storage but prepends a
+// fixed prefix to every metric name it touches. Scopes are how concurrent
+// producers — e.g. the simulated core groups of a fleet — write into one
+// registry without colliding: disjoint prefixes mean disjoint names, so
+// each producer's deterministic write sequence stays deterministic in the
+// merged snapshot regardless of goroutine interleaving.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	help     map[string]string
+
+	// root points at the registry owning the maps when this value is a
+	// scoped view (nil on a root); prefix is prepended to every name the
+	// view touches.
+	root   *Registry
+	prefix string
 }
 
 // NewRegistry creates an empty registry.
@@ -171,15 +185,46 @@ func NewRegistry() *Registry {
 	}
 }
 
+// base returns the registry owning the storage: the receiver itself for a
+// root, the root for a scoped view.
+func (r *Registry) base() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// Scope returns a view of the registry that prepends prefix to every
+// metric name: Scope("group0_").Counter("dma_ops") is the root's
+// "group0_dma_ops" counter. Views share the root's storage (scoping an
+// existing view concatenates prefixes) and are as concurrency-safe as the
+// root. Nil-safe: a nil registry scopes to nil, and an empty prefix
+// returns the receiver unchanged.
+func (r *Registry) Scope(prefix string) *Registry {
+	if r == nil || prefix == "" {
+		return r
+	}
+	return &Registry{root: r.base(), prefix: r.prefix + prefix}
+}
+
+// Prefix reports the view's accumulated name prefix ("" on a root).
+func (r *Registry) Prefix() string {
+	if r == nil {
+		return ""
+	}
+	return r.prefix
+}
+
 // SetHelp attaches Prometheus exposition help text to a metric name,
 // overriding the built-in description table. Nil-safe.
 func (r *Registry) SetHelp(name, text string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.help[name] = text
-	r.mu.Unlock()
+	b := r.base()
+	b.mu.Lock()
+	b.help[r.prefix+name] = text
+	b.mu.Unlock()
 }
 
 var defaultRegistry = NewRegistry()
@@ -193,17 +238,19 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	c := r.counters[name]
-	r.mu.RUnlock()
+	b := r.base()
+	name = r.prefix + name
+	b.mu.RLock()
+	c := b.counters[name]
+	b.mu.RUnlock()
 	if c != nil {
 		return c
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c = r.counters[name]; c == nil {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c = b.counters[name]; c == nil {
 		c = &Counter{}
-		r.counters[name] = c
+		b.counters[name] = c
 	}
 	return c
 }
@@ -213,17 +260,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	g := r.gauges[name]
-	r.mu.RUnlock()
+	b := r.base()
+	name = r.prefix + name
+	b.mu.RLock()
+	g := b.gauges[name]
+	b.mu.RUnlock()
 	if g != nil {
 		return g
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g = r.gauges[name]; g == nil {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if g = b.gauges[name]; g == nil {
 		g = &Gauge{}
-		r.gauges[name] = g
+		b.gauges[name] = g
 	}
 	return g
 }
@@ -235,22 +284,24 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	h := r.hists[name]
-	r.mu.RUnlock()
+	b := r.base()
+	name = r.prefix + name
+	b.mu.RLock()
+	h := b.hists[name]
+	b.mu.RUnlock()
 	if h != nil {
 		return h
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h = r.hists[name]; h == nil {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if h = b.hists[name]; h == nil {
 		if len(bounds) == 0 {
 			bounds = TimeBuckets
 		}
-		b := append([]float64(nil), bounds...)
-		sort.Float64s(b)
-		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
-		r.hists[name] = h
+		bb := append([]float64(nil), bounds...)
+		sort.Float64s(bb)
+		h = &Histogram{bounds: bb, counts: make([]atomic.Int64, len(bb)+1)}
+		b.hists[name] = h
 	}
 	return h
 }

@@ -187,3 +187,69 @@ func TestDefaultRegistryIsStable(t *testing.T) {
 		t.Fatal("Default must return one stable registry")
 	}
 }
+
+// TestScope: scoped views write prefixed names into the root's storage,
+// nested scopes concatenate, snapshots of a view filter to its prefix, and
+// nil/empty scoping stays inert.
+func TestScope(t *testing.T) {
+	root := metrics.NewRegistry()
+	g0 := root.Scope("group0_")
+	g1 := root.Scope("group1_")
+
+	g0.Counter("dma_ops").Add(3)
+	g1.Counter("dma_ops").Add(5)
+	root.Counter("dma_ops").Inc()
+	g0.Gauge("seconds").Set(1.5)
+	g1.Gauge("seconds").Set(2.5)
+	g0.Histogram("lat", 1, 10).Observe(0.5)
+
+	// Same underlying metric through view and root.
+	if g0.Counter("dma_ops") != root.Counter("group0_dma_ops") {
+		t.Fatal("scoped counter is not the root's prefixed counter")
+	}
+	s := root.Snapshot()
+	if s.Counters["group0_dma_ops"] != 3 || s.Counters["group1_dma_ops"] != 5 || s.Counters["dma_ops"] != 1 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Gauges["group0_seconds"] != 1.5 || s.Gauges["group1_seconds"] != 2.5 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+
+	// A view's snapshot contains only its own prefix, under full names.
+	vs := g0.Snapshot()
+	if len(vs.Counters) != 1 || vs.Counters["group0_dma_ops"] != 3 {
+		t.Fatalf("view counters = %v", vs.Counters)
+	}
+	if _, ok := vs.Gauges["group1_seconds"]; ok {
+		t.Fatal("view snapshot leaked another scope")
+	}
+	if _, ok := vs.Histograms["group0_lat"]; !ok {
+		t.Fatalf("view histograms = %v", vs.Histograms)
+	}
+
+	// Nested scoping concatenates prefixes.
+	nested := g0.Scope("infer_")
+	nested.Counter("runs").Inc()
+	if root.Snapshot().Counters["group0_infer_runs"] != 1 {
+		t.Fatal("nested scope did not concatenate prefixes")
+	}
+	if nested.Prefix() != "group0_infer_" {
+		t.Fatalf("nested prefix = %q", nested.Prefix())
+	}
+
+	// SetHelp goes through the prefix too.
+	g0.SetHelp("seconds", "group zero seconds")
+	if root.Snapshot().Help["group0_seconds"] != "group zero seconds" {
+		t.Fatal("scoped SetHelp lost the prefix")
+	}
+
+	// Inert cases.
+	if root.Scope("") != root {
+		t.Fatal("empty prefix must return the receiver")
+	}
+	var nilReg *metrics.Registry
+	if nilReg.Scope("x_") != nil {
+		t.Fatal("nil registry must scope to nil")
+	}
+	nilReg.Scope("x_").Counter("c").Inc() // must not panic
+}

@@ -7,6 +7,11 @@ import "swatop/internal/metrics"
 // callers republish the same accumulated Counters after every run without
 // double-counting, and the snapshot always reflects the machine's lifetime
 // totals. A nil registry is a no-op.
+//
+// When several machines publish into one registry — the multi-core-group
+// fleet — each must use its own namespace or the gauges overwrite each
+// other: pass a scoped registry (reg.Scope("group0_")) or use
+// PublishPrefixed.
 func (c Counters) Publish(reg *metrics.Registry) {
 	if reg == nil {
 		return
@@ -23,4 +28,31 @@ func (c Counters) Publish(reg *metrics.Registry) {
 	reg.Gauge("machine_spm_peak_bytes").Max(float64(c.SPMPeakBytes))
 	reg.Gauge("machine_compute_seconds").Set(c.ComputeSeconds)
 	reg.Gauge("machine_stall_seconds").Set(c.StallSeconds)
+}
+
+// PublishPrefixed publishes into <prefix>machine_* gauges, giving each
+// machine of a multi-group fleet a disjoint namespace in one shared
+// registry ("group0_machine_dma_ops_total", ...).
+func (c Counters) PublishPrefixed(reg *metrics.Registry, prefix string) {
+	c.Publish(reg.Scope(prefix))
+}
+
+// Accumulate adds another machine's counters into c — the deterministic
+// fleet merge: summing per-group counters in fixed group order yields the
+// same aggregate regardless of how the groups' goroutines interleaved.
+// SPMPeakBytes merges as a max (it is a peak, not a volume).
+func (c *Counters) Accumulate(o Counters) {
+	c.DMAOps += o.DMAOps
+	c.DMABlocks += o.DMABlocks
+	c.DMABytesRequested += o.DMABytesRequested
+	c.DMABytesTouched += o.DMABytesTouched
+	c.DMATransactions += o.DMATransactions
+	c.GemmCalls += o.GemmCalls
+	c.Flops += o.Flops
+	c.TransformOps += o.TransformOps
+	if o.SPMPeakBytes > c.SPMPeakBytes {
+		c.SPMPeakBytes = o.SPMPeakBytes
+	}
+	c.ComputeSeconds += o.ComputeSeconds
+	c.StallSeconds += o.StallSeconds
 }

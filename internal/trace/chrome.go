@@ -40,12 +40,13 @@ var chromeTID = map[Kind]int{
 // WriteChromeTrace writes the log in the Chrome trace-event JSON format:
 // the output opens directly in ui.perfetto.dev (or chrome://tracing) and
 // shows the compute, transform, DMA and wait channels as separate tracks
-// with event Args preserved. Events are emitted in insertion order, so a
-// deterministic execution yields a byte-identical trace.
+// with event Args preserved. Each core group becomes its own process
+// (pid = group + 1), so a fleet timeline renders as stacked per-group
+// track lanes. Events are emitted in insertion order, so a deterministic
+// execution yields a byte-identical trace.
 func (l *Log) WriteChromeTrace(w io.Writer) error {
-	const pid = 1
+	groups := l.Groups()
 	tids := map[Kind]int{}
-	var order []Kind
 	nextTID := 5
 	tidFor := func(k Kind) int {
 		if tid, ok := tids[k]; ok {
@@ -57,9 +58,15 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 			nextTID++
 		}
 		tids[k] = tid
-		order = append(order, k)
 		return tid
 	}
+
+	type track struct {
+		group int
+		kind  Kind
+	}
+	seen := map[track]bool{}
+	var order []track
 
 	events := make([]chromeEvent, 0, len(l.Events)+8)
 	for _, ev := range l.Events {
@@ -69,8 +76,12 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 			Ph:   "X",
 			TS:   ev.Start * 1e6,
 			Dur:  ev.Dur * 1e6,
-			PID:  pid,
+			PID:  ev.Group + 1,
 			TID:  tidFor(ev.Kind),
+		}
+		if tr := (track{ev.Group, ev.Kind}); !seen[tr] {
+			seen[tr] = true
+			order = append(order, tr)
 		}
 		if ce.Name == "" {
 			ce.Name = string(ev.Kind)
@@ -84,16 +95,24 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 		events = append(events, ce)
 	}
 
-	// Name the process and each used track. Metadata events go first so
-	// viewers label tracks before populating them.
-	meta := []chromeEvent{{
-		Name: "process_name", Ph: "M", PID: pid, TID: 0,
-		Args: map[string]any{"name": "sw26010 core group (simulated)"},
-	}}
-	for _, k := range order {
+	// Name each process and each used track. Metadata events go first so
+	// viewers label tracks before populating them. A single-group log keeps
+	// the historical process name; a fleet log numbers the groups.
+	var meta []chromeEvent
+	for g := 0; g < groups; g++ {
+		name := "sw26010 core group (simulated)"
+		if groups > 1 {
+			name = fmt.Sprintf("sw26010 core group %d (simulated)", g)
+		}
 		meta = append(meta, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: pid, TID: tids[k],
-			Args: map[string]any{"name": string(k)},
+			Name: "process_name", Ph: "M", PID: g + 1, TID: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, tr := range order {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tr.group + 1, TID: tids[tr.kind],
+			Args: map[string]any{"name": string(tr.kind)},
 		})
 	}
 

@@ -121,6 +121,66 @@ func TestChromeTraceIsValidAndComplete(t *testing.T) {
 	}
 }
 
+// TestWriteChromeTraceFleetGolden pins the multi-group export: each core
+// group becomes its own numbered process, spans keep their Args, and the
+// output is deterministic byte-for-byte.
+func TestWriteChromeTraceFleetGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fleetLog().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_fleet_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("fleet chrome trace drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Structural invariants a viewer relies on: valid JSON, one process per
+	// group with distinct numbered names, spans on the right pids.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("fleet export is not valid JSON: %v", err)
+	}
+	procNames := map[int]string{}
+	spanPIDs := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames[ev.PID] = ev.Args["name"].(string)
+		case ev.Ph == "X":
+			spanPIDs[ev.PID]++
+			if ev.Cat == "gemm" && ev.Args["op"] != "conv1" {
+				t.Fatalf("fleet span lost Args: %+v", ev)
+			}
+		}
+	}
+	if procNames[1] == procNames[2] || procNames[1] == "" || procNames[2] == "" {
+		t.Fatalf("group processes not distinct: %v", procNames)
+	}
+	if spanPIDs[1] != 3 || spanPIDs[2] != 2 {
+		t.Fatalf("spans per pid = %v, want 3 on pid 1, 2 on pid 2", spanPIDs)
+	}
+}
+
 func TestRoofline(t *testing.T) {
 	l := &trace.Log{}
 	l.Add(trace.KindGemm, "", 0, 4)

@@ -20,6 +20,9 @@ const (
 	KindDMA       Kind = "dma"
 	KindTransform Kind = "transform"
 	KindWait      Kind = "wait"
+	// KindComm marks modeled cross-core-group communication (gathers,
+	// pipeline stage hand-offs) on a fleet timeline.
+	KindComm Kind = "comm"
 )
 
 // Event is one interval on the timeline.
@@ -28,6 +31,11 @@ type Event struct {
 	Label string
 	Start float64 // seconds on the simulated clock
 	Dur   float64
+	// Group is the simulated core group the event executed on. Single-
+	// machine timelines leave it 0; fleet timelines stamp it via
+	// MergeGroup/AddGroup so parallel groups keep distinct rows in the
+	// Gantt and distinct process tracks in the Chrome export.
+	Group int
 	// Args is optional span metadata (operator name, layer index, selected
 	// strategy, ...) carried into the Chrome-trace export. Nil for plain
 	// events; shared, not copied, by Merge.
@@ -39,9 +47,14 @@ type Log struct {
 	Events []Event
 }
 
-// Add appends an event.
+// Add appends an event on group 0.
 func (l *Log) Add(kind Kind, label string, start, dur float64) {
 	l.Events = append(l.Events, Event{Kind: kind, Label: label, Start: start, Dur: dur})
+}
+
+// AddGroup appends an event on a specific core group.
+func (l *Log) AddGroup(group int, kind Kind, label string, start, dur float64) {
+	l.Events = append(l.Events, Event{Kind: kind, Label: label, Start: start, Dur: dur, Group: group})
 }
 
 // Len reports the event count.
@@ -83,6 +96,39 @@ func (l *Log) Merge(offset float64, others ...*Log) {
 			l.Events = append(l.Events, shifted)
 		}
 	}
+}
+
+// MergeGroup merges like Merge but stamps every merged event with the
+// given core-group index, overriding whatever group the source log
+// carried. A fleet timeline is built by MergeGroup-ing each group's
+// machine-local log at its fleet-clock offset: events from different
+// groups then keep distinct rows in the Gantt and distinct process tracks
+// in the Chrome export, while intra-group structure survives the rigid
+// shift exactly as in Merge.
+func (l *Log) MergeGroup(group int, offset float64, others ...*Log) {
+	for _, o := range others {
+		if o == nil {
+			continue
+		}
+		for _, ev := range o.Events {
+			shifted := ev
+			shifted.Start += offset
+			shifted.Group = group
+			l.Events = append(l.Events, shifted)
+		}
+	}
+}
+
+// Groups returns the number of distinct core-group rows of the timeline:
+// max event group + 1 (1 for an empty or single-machine log).
+func (l *Log) Groups() int {
+	maxG := 0
+	for _, ev := range l.Events {
+		if ev.Group > maxG {
+			maxG = ev.Group
+		}
+	}
+	return maxG + 1
 }
 
 // BusyTime returns the unioned busy time of one kind (overlapping events
@@ -183,7 +229,15 @@ func (l *Log) Summary() string {
 	return b.String()
 }
 
-// Gantt renders a coarse text Gantt chart (width columns).
+// ganttKinds is the row/precedence order of the text Gantt: later kinds
+// draw over earlier ones in per-group rows, so compute ends up on top.
+var ganttKinds = []Kind{KindWait, KindComm, KindDMA, KindTransform, KindGemm}
+
+// Gantt renders a coarse text Gantt chart (width columns). A single-
+// machine timeline gets one row per machine channel (gemm, transform,
+// dma, wait); a fleet timeline (events on more than one group) gets one
+// row per core group, each cell marked with the dominant channel active
+// there (G > T > D > C > W in precedence).
 func (l *Log) Gantt(width int) string {
 	if width < 10 {
 		width = 10
@@ -192,8 +246,11 @@ func (l *Log) Gantt(width int) string {
 	if end == 0 {
 		return "(empty timeline)\n"
 	}
+	if l.Groups() > 1 {
+		return l.ganttGroups(width, end)
+	}
 	var b strings.Builder
-	for _, k := range []Kind{KindGemm, KindTransform, KindDMA, KindWait} {
+	for _, k := range []Kind{KindGemm, KindTransform, KindDMA, KindComm, KindWait} {
 		row := make([]byte, width)
 		for i := range row {
 			row[i] = '.'
@@ -222,10 +279,47 @@ func (l *Log) Gantt(width int) string {
 			}
 			drew = true
 		}
-		if k == KindWait && !drew {
+		if (k == KindWait || k == KindComm) && !drew {
 			continue // most schedules never stall; keep the chart compact
 		}
 		fmt.Fprintf(&b, "%-10s |%s|\n", k, row)
+	}
+	return b.String()
+}
+
+// ganttGroups renders the fleet view: one row per core group on the shared
+// fleet clock, so data-parallel overlap and pipeline fill/drain bubbles are
+// visible at a glance.
+func (l *Log) ganttGroups(width int, end float64) string {
+	var b strings.Builder
+	for g := 0; g < l.Groups(); g++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, k := range ganttKinds {
+			mark := byte(strings.ToUpper(string(k))[0])
+			for _, ev := range l.Events {
+				if ev.Group != g || ev.Kind != k || ev.Dur <= 0 {
+					continue
+				}
+				lo := int(ev.Start / end * float64(width))
+				hi := int((ev.Start + ev.Dur) / end * float64(width))
+				if lo >= width {
+					lo = width - 1
+				}
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= width {
+					hi = width - 1
+				}
+				for i := lo; i <= hi; i++ {
+					row[i] = mark
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-10s |%s|\n", fmt.Sprintf("group%d", g), row)
 	}
 	return b.String()
 }

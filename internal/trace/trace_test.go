@@ -216,6 +216,93 @@ func TestAnnotate(t *testing.T) {
 	}
 }
 
+// fleetLog builds a two-group timeline with deliberately overlapping
+// intervals: both groups compute over [0,3] on the shared fleet clock, with
+// per-group DMA and a gather at the end.
+func fleetLog() *trace.Log {
+	g0 := &trace.Log{}
+	g0.Add(trace.KindGemm, "conv1 shard0", 0, 3)
+	g0.Add(trace.KindDMA, "get in", 1, 1)
+	g0.Annotate("op", "conv1")
+	g0.Annotate("group", "0")
+	g1 := &trace.Log{}
+	g1.Add(trace.KindGemm, "conv1 shard1", 0, 3)
+	g1.Add(trace.KindDMA, "get in", 0.5, 1)
+	g1.Annotate("op", "conv1")
+	g1.Annotate("group", "1")
+
+	net := &trace.Log{}
+	net.MergeGroup(0, 0, g0)
+	net.MergeGroup(1, 0, g1)
+	net.AddGroup(0, trace.KindComm, "gather", 3, 0.5)
+	return net
+}
+
+// TestMergeGroupOverlappingTimelines is the satellite coverage for fleet
+// merges: two groups with overlapping [0,3] intervals must keep distinct
+// group rows, keep their Args, and render one Gantt row per group.
+func TestMergeGroupOverlappingTimelines(t *testing.T) {
+	net := fleetLog()
+	if got := net.Groups(); got != 2 {
+		t.Fatalf("Groups = %d, want 2", got)
+	}
+	if got := net.Len(); got != 5 {
+		t.Fatalf("merged %d events, want 5", got)
+	}
+	// Overlapping intervals stay distinct per group: both compute spans
+	// survive with their own group stamp and Args.
+	perGroup := map[int]int{}
+	for _, ev := range net.Events {
+		perGroup[ev.Group]++
+		if ev.Kind == trace.KindGemm {
+			if ev.Args["op"] != "conv1" {
+				t.Fatalf("MergeGroup dropped Args: %+v", ev)
+			}
+			if ev.Args["group"] != map[int]string{0: "0", 1: "1"}[ev.Group] {
+				t.Fatalf("event landed on the wrong group row: %+v", ev)
+			}
+		}
+	}
+	if perGroup[0] != 3 || perGroup[1] != 2 {
+		t.Fatalf("events per group = %v, want 3/2", perGroup)
+	}
+	// MergeGroup overrides whatever group the source carried.
+	src := &trace.Log{}
+	src.AddGroup(7, trace.KindGemm, "x", 0, 1)
+	dst := &trace.Log{}
+	dst.MergeGroup(2, 1.5, src)
+	if dst.Events[0].Group != 2 || dst.Events[0].Start != 1.5 {
+		t.Fatalf("MergeGroup restamp wrong: %+v", dst.Events[0])
+	}
+	dst.MergeGroup(0, 0, nil) // nil is a no-op
+	if dst.Len() != 1 {
+		t.Fatal("nil merge changed the log")
+	}
+
+	// BusyTime unions across groups: both groups computing [0,3] is still
+	// 3 s of wall-clock compute on the fleet timeline.
+	if got := net.BusyTime(trace.KindGemm); got != 3 {
+		t.Fatalf("fleet gemm busy = %g, want 3", got)
+	}
+
+	// The Gantt renders one row per group, not per kind.
+	gantt := net.Gantt(40)
+	for _, want := range []string{"group0", "group1", "G", "C"} {
+		if !strings.Contains(gantt, want) {
+			t.Fatalf("fleet gantt missing %q:\n%s", want, gantt)
+		}
+	}
+	if strings.Contains(gantt, "gemm") {
+		t.Fatalf("fleet gantt still has per-kind rows:\n%s", gantt)
+	}
+	// A single-group log keeps the per-kind layout.
+	single := &trace.Log{}
+	single.Add(trace.KindGemm, "", 0, 1)
+	if got := single.Gantt(40); !strings.Contains(got, "gemm") {
+		t.Fatalf("single-group gantt lost per-kind rows:\n%s", got)
+	}
+}
+
 // TestTraceOfRealRun: a double-buffered GEMM should show substantial DMA
 // time hidden behind compute.
 func TestTraceOfRealRun(t *testing.T) {
