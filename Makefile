@@ -6,8 +6,8 @@ GO ?= go
 # regressions do.
 COVER_BASELINE ?= 69.0
 
-.PHONY: all build vet unreachable fmt test race fuzz shuffle cover ci bench \
-	bench-snapshot bench-check
+.PHONY: all build vet unreachable fmt test race fuzz shuffle cover chaos ci \
+	bench bench-snapshot bench-check
 
 all: build
 
@@ -47,6 +47,15 @@ fuzz:
 shuffle:
 	$(GO) test -shuffle=on -count=1 ./...
 
+# Chaos smoke: the serving path under fault injection (half of all tuning
+# measurements fail, compute periodically stalls, then DMA transfers fail)
+# with the race detector on. Measurement faults must yield only 200/429/408
+# — degraded, shed or expired, never crashed; DMA faults during execution
+# may fail batches with 500 but the daemon must answer every request,
+# recover once the faults clear, and still drain cleanly afterwards.
+chaos:
+	$(GO) test -race -run TestChaos -count=1 ./internal/serve/...
+
 # Coverage gate: total statement coverage must stay at or above
 # COVER_BASELINE. Writes cover.out for `go tool cover -html=cover.out`.
 cover:
@@ -57,7 +66,7 @@ cover:
 		{ echo "coverage $$total% fell below baseline $(COVER_BASELINE)%"; exit 1; }
 
 # The tier-1 loop: what every change must keep green.
-ci: build vet unreachable fmt test race fuzz shuffle cover
+ci: build vet unreachable fmt test race fuzz shuffle cover chaos
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

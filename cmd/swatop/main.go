@@ -62,7 +62,7 @@ func gemmCmd(args []string) {
 	check(err)
 	defer sess.Close()
 	tuner := mustTuner(sess, *workers, *fallback, *retries)
-	ctx, cancel := deadlineCtx(*deadline)
+	ctx, cancel := deadlineCtx(sess.Context(), *deadline)
 	defer cancel()
 	stop := sess.StartProgress(os.Stderr)
 	tuned, err := tuner.TuneGemmCtx(ctx, swatop.GemmParams{M: *m, N: *n, K: *k})
@@ -104,7 +104,7 @@ func convCmd(args []string) {
 	check(err)
 	defer sess.Close()
 	tuner := mustTuner(sess, *workers, *fallback, *retries)
-	ctx, cancel := deadlineCtx(*deadline)
+	ctx, cancel := deadlineCtx(sess.Context(), *deadline)
 	defer cancel()
 	stop := sess.StartProgress(os.Stderr)
 	tuned, err := tuner.TuneConvCtx(ctx, *method, s)
@@ -139,11 +139,13 @@ func resilienceFlags(fs *flag.FlagSet) (fallback *bool, retries *int, deadline *
 	return
 }
 
-func deadlineCtx(d time.Duration) (context.Context, context.CancelFunc) {
+// deadlineCtx bounds the run by -deadline on top of the session context,
+// so both an expired budget and a SIGTERM/SIGINT drain stop the tuner.
+func deadlineCtx(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
 	if d <= 0 {
-		return context.Background(), func() {}
+		return parent, func() {}
 	}
-	return context.WithTimeout(context.Background(), d)
+	return context.WithTimeout(parent, d)
 }
 
 func mustTuner(sess *cliobs.Session, workers int, fallback bool, retries int) *swatop.Tuner {

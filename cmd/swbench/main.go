@@ -109,6 +109,12 @@ func main() {
 		}
 	}
 	for _, id := range ids {
+		if sess.Context().Err() != nil {
+			// SIGTERM/SIGINT drain: finish the experiment that was running,
+			// skip the rest, still flush traces and metrics below.
+			fmt.Fprintln(os.Stderr, "swbench: draining, skipping remaining experiments")
+			break
+		}
 		e, err := experiments.ByID(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "swbench:", err)

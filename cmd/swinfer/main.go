@@ -104,7 +104,9 @@ func main() {
 	var reports []*swatop.NetReport
 	for _, b := range sizes {
 		stop := sess.StartProgress(os.Stderr)
-		rep, err := eng.Infer(*net, b)
+		// The session context makes SIGTERM/SIGINT drain the run: the
+		// current batch stops at its next cancellation point.
+		rep, err := eng.InferCtx(sess.Context(), *net, b)
 		stop()
 		if err != nil {
 			fail(err)
@@ -247,7 +249,7 @@ func parseBatches(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(f)
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("swinfer: bad batch size %q", f)
+			return nil, fmt.Errorf("bad batch size %q (batch must be a positive integer; -groups shards it, so batch 0 cannot be sharded)", f)
 		}
 		out = append(out, n)
 	}

@@ -50,6 +50,12 @@ type Workload struct {
 	// gate compares machine seconds, which for a fixed batch is the same
 	// quantity inverted.
 	InferencesPerSec float64 `json:"inferences_per_sec,omitempty"`
+	// P99Ms is the 99th-percentile request latency of serving workloads
+	// (wall milliseconds under the canonical load-test). Informational
+	// only: it depends on the host machine, so like WallSeconds it never
+	// gates the comparison — the serving row's machine seconds (the
+	// warmed bucket's simulated batch time) carry the gate.
+	P99Ms float64 `json:"p99_ms,omitempty"`
 }
 
 // Snapshot is the full document written by -bench-out.

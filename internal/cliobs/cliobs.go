@@ -1,19 +1,21 @@
-// Package cliobs is the shared observability plumbing of the four CLIs
-// (swatop, swbench, swinfer, swsim): one place registering the -metrics,
-// -trace-out, -listen and -flight-out flags, starting the embedded
-// introspection server, arming the SIGQUIT flight-dump handler and
-// rendering live progress lines from the observer's job tracker. Adding a
-// new observability surface means touching this package once, not four
-// main functions.
+// Package cliobs is the shared observability plumbing of the five CLIs
+// (swatop, swbench, swinfer, swsim, swserve): one place registering the
+// -metrics, -trace-out, -listen and -flight-out flags, starting the
+// embedded introspection server, arming the signal handlers (SIGQUIT
+// flight dump; SIGTERM/SIGINT graceful drain) and rendering live progress
+// lines from the observer's job tracker. Adding a new observability
+// surface means touching this package once, not five main functions.
 package cliobs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -62,13 +64,20 @@ type Session struct {
 	server    *obsrv.Server
 	flightF   *os.File
 	sigCh     chan os.Signal
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	drainMu   sync.Mutex
+	drainFns  []func()
+	drainOnce sync.Once
 }
 
 // Start builds the session from parsed flags: it creates the observer,
 // wires the flight sink (FlightOut file, stderr otherwise), starts the
 // introspection server when -listen was given (printing the bound address
-// to stderr), and arms the SIGQUIT flight-dump handler. reg is the
-// registry the command records into; it is what /metrics serves.
+// to stderr), and arms the signal handlers (SIGQUIT flight dump,
+// SIGTERM/SIGINT graceful drain). reg is the registry the command records
+// into; it is what /metrics serves.
 func (f *Flags) Start(component string, reg *metrics.Registry) (*Session, error) {
 	s := &Session{
 		Observer:  obsrv.New(),
@@ -95,20 +104,67 @@ func (f *Flags) Start(component string, reg *metrics.Registry) (*Session, error)
 		}
 		fmt.Fprintf(os.Stderr, "introspection: http://%s/\n", hostAddr(addr))
 	}
-	// SIGQUIT dumps the flight recorder before exiting — the unattended-
-	// session post-mortem trigger ("what was it doing?" without a debugger).
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	// Signal handling, shared by every CLI:
+	//   - SIGQUIT dumps the flight recorder before exiting — the unattended-
+	//     session post-mortem trigger ("what was it doing?" without a
+	//     debugger).
+	//   - SIGTERM/SIGINT drain gracefully: the first one cancels Context()
+	//     (long runs stop at the next cancellation point) and runs the
+	//     OnDrain hooks (daemons stop admission and finish in-flight work);
+	//     the main function then flushes its reports and exits normally. A
+	//     second one force-quits.
 	// The goroutine ranges over a local so Close clearing s.sigCh races
 	// with nothing.
-	sigCh := make(chan os.Signal, 1)
+	sigCh := make(chan os.Signal, 2)
 	s.sigCh = sigCh
-	signal.Notify(sigCh, syscall.SIGQUIT)
+	signal.Notify(sigCh, syscall.SIGQUIT, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
-		for range sigCh {
-			s.Observer.AutoDump("SIGQUIT")
-			os.Exit(2)
+		draining := false
+		for sig := range sigCh {
+			if sig == syscall.SIGQUIT {
+				s.Observer.AutoDump("SIGQUIT")
+				os.Exit(2)
+			}
+			if draining {
+				fmt.Fprintf(os.Stderr, "%s: %s again, force quitting\n", component, sig)
+				os.Exit(1)
+			}
+			draining = true
+			fmt.Fprintf(os.Stderr, "%s: %s received, draining (send again to force quit)\n",
+				component, sig)
+			s.drain()
 		}
 	}()
 	return s, nil
+}
+
+// Context is canceled by the first SIGTERM/SIGINT (and by Close): pass it
+// to long-running work so a drain stops it at the next cancellation point.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// OnDrain registers a hook run (in registration order) when the first
+// SIGTERM/SIGINT arrives, after Context is canceled. Daemons use it to
+// stop admission and finish in-flight work; the hooks complete before the
+// signal is considered handled.
+func (s *Session) OnDrain(fn func()) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	s.drainFns = append(s.drainFns, fn)
+}
+
+// drain cancels the session context and runs the OnDrain hooks exactly
+// once.
+func (s *Session) drain() {
+	s.drainOnce.Do(func() {
+		s.cancel()
+		s.drainMu.Lock()
+		fns := append([]func(){}, s.drainFns...)
+		s.drainMu.Unlock()
+		for _, fn := range fns {
+			fn()
+		}
+	})
 }
 
 // hostAddr rewrites a wildcard listen address ("[::]:8080") to a
@@ -133,6 +189,9 @@ func (s *Session) Close() {
 		signal.Stop(s.sigCh)
 		close(s.sigCh)
 		s.sigCh = nil
+	}
+	if s.cancel != nil {
+		s.cancel()
 	}
 	if s.server != nil {
 		_ = s.server.Close()

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -76,6 +77,77 @@ func TestSessionLifecycleWithServer(t *testing.T) {
 	}
 	if !strings.Contains(string(dump), `"reason":"test dump"`) {
 		t.Fatalf("flight dump not written: %s", dump)
+	}
+}
+
+// TestSessionDrainOnSIGTERM: the first SIGTERM cancels Context and runs
+// the OnDrain hooks (in order) without killing the process — the graceful
+// half of daemon shutdown, shared by all five CLIs.
+func TestSessionDrainOnSIGTERM(t *testing.T) {
+	sess, err := (&Flags{}).Start("swtest", metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Context().Err(); err != nil {
+		t.Fatalf("fresh session context canceled: %v", err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	hook := func(name string) func() {
+		return func() {
+			mu.Lock()
+			defer mu.Unlock()
+			order = append(order, name)
+		}
+	}
+	sess.OnDrain(hook("first"))
+	sess.OnDrain(hook("second"))
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sess.Context().Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the session context")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := strings.Join(order, ",")
+		mu.Unlock()
+		if got == "first,second" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain hooks ran as [%s], want [first,second]", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The drain is once-only: a direct second drain() changes nothing.
+	sess.drain()
+	mu.Lock()
+	n := len(order)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("drain hooks ran %d times, want 2", n)
+	}
+}
+
+// TestSessionCloseCancelsContext: Close is a programmatic drain signal for
+// code paths that end without a signal.
+func TestSessionCloseCancelsContext(t *testing.T) {
+	sess, err := (&Flags{}).Start("swtest", metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	select {
+	case <-sess.Context().Done():
+	default:
+		t.Fatal("Close did not cancel the session context")
 	}
 }
 

@@ -81,15 +81,17 @@ func (f *Fleet) Publish(reg *metrics.Registry) {
 }
 
 // ShardBatch splits a batch of b samples across n groups as evenly as
-// possible: the first b%n groups take one extra sample. It errors when
-// b < n — a group with zero samples has nothing to run, and silently
-// dropping groups would make the reported scale-out dishonest.
+// possible: the first b%n groups take one extra sample. When b < n the
+// trailing n-b shards are zero — those groups have no samples and callers
+// must skip them (an empty shard is idle capacity, not work to execute).
+// b must be >= 1: a batch of zero has nothing to shard, and callers that
+// would pass 0 should reject it up front with their own error.
 func ShardBatch(b, n int) ([]int, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: shard across %d groups", n)
 	}
-	if b < n {
-		return nil, fmt.Errorf("cluster: batch %d smaller than %d groups (every group needs at least one sample)", b, n)
+	if b < 1 {
+		return nil, fmt.Errorf("cluster: shard batch %d, want >= 1 (a zero batch has no samples to distribute)", b)
 	}
 	shards := make([]int, n)
 	base, extra := b/n, b%n

@@ -42,6 +42,11 @@ func TestShardBatch(t *testing.T) {
 		{7, 2, []int{4, 3}},
 		{4, 4, []int{1, 1, 1, 1}},
 		{5, 1, []int{5}},
+		// batch < groups: trailing shards are zero (skipped, not executed),
+		// never silently redistributed.
+		{3, 4, []int{1, 1, 1, 0}},
+		{1, 4, []int{1, 0, 0, 0}},
+		{2, 3, []int{1, 1, 0}},
 	}
 	for _, c := range cases {
 		got, err := ShardBatch(c.b, c.n)
@@ -59,8 +64,11 @@ func TestShardBatch(t *testing.T) {
 			t.Fatalf("shards %v do not sum to %d", got, c.b)
 		}
 	}
-	if _, err := ShardBatch(3, 4); err == nil {
-		t.Fatal("batch smaller than groups must error")
+	if _, err := ShardBatch(0, 4); err == nil {
+		t.Fatal("batch 0 must error: there are no samples to distribute")
+	}
+	if _, err := ShardBatch(4, 0); err == nil {
+		t.Fatal("zero groups must error")
 	}
 }
 

@@ -136,10 +136,11 @@ func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Optio
 	// Resolve schedules once per distinct shard size, sequentially — the
 	// library and tuner are never touched while groups execute. The hybrid
 	// path resolves only the convolution head at shard batch; its fc tail
-	// executes as full-batch column shards resolved separately below.
+	// executes as full-batch column shards resolved separately below. A
+	// zero shard (batch < groups) has no graph to build: that group idles.
 	plans := map[int]*shardPlan{}
 	for _, b := range shards {
-		if plans[b] != nil {
+		if b == 0 || plans[b] != nil {
 			continue
 		}
 		sg, err := buildShard(g, opts, b)
@@ -184,6 +185,11 @@ func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Optio
 	groups := make([]*Result, G)
 	errs := make([]error, G)
 	run := func(i int) {
+		if shards[i] == 0 {
+			// Empty shard: skipped, not executed — the group contributes
+			// nothing and its machine clock stays at zero.
+			return
+		}
 		sp := plans[shards[i]]
 		ts, err := allocTensors(sp.g, sp.resolved, sp.plan, opts.Functional)
 		if err != nil {
@@ -233,9 +239,17 @@ func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Optio
 		Layers: groups[0].Layers,
 	}
 	maxSecs := 0.0
+	active := 0
 	timeline := &trace.Log{}
 	var agg sw26010.Counters
 	for i, gr := range groups {
+		if gr == nil {
+			// Idle group (zero shard): it appears in the report with zero
+			// batch and zero seconds, keeping the scale-out story honest.
+			res.Groups = append(res.Groups, GroupResult{Group: i})
+			continue
+		}
+		active++
 		if gr.Seconds > maxSecs {
 			maxSecs = gr.Seconds
 		}
@@ -250,7 +264,8 @@ func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Optio
 		})
 	}
 	outBytes := int64(elemCount(mustDims(g, g.Output))) * 4
-	res.CommSeconds = cluster.GatherSeconds(outBytes, G)
+	// Only groups that ran contribute shard outputs to the gather.
+	res.CommSeconds = cluster.GatherSeconds(outBytes, active)
 	timeline.AddGroup(0, trace.KindComm, "gather outputs", maxSecs, res.CommSeconds)
 	res.Seconds = maxSecs + res.CommSeconds
 	res.Counters = agg
@@ -260,6 +275,9 @@ func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Optio
 		gt, _ := g.Tensor(g.Output)
 		out := tensor.New(g.Output, gt.Dims...)
 		for i, gr := range groups {
+			if gr == nil {
+				continue
+			}
 			copyBatchSlice(out, g.Batch, offs[i], gr.Output, shards[i], 0, shards[i])
 		}
 		res.Output = out
@@ -523,6 +541,11 @@ func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
 	headRes := make([]*Result, G)
 	headFeat := make([]*tensor.Tensor, G)
 	runGroups(G, opts.serialFleet, func(i int) {
+		if shards[i] == 0 {
+			// Empty shard: no head work. The group still joins the
+			// column-sharded fc tail after the all-gather.
+			return
+		}
 		sp := plans[shards[i]]
 		ts, err := allocTensors(sp.g, sp.resolved, sp.plan, opts.Functional)
 		if err != nil {
@@ -552,6 +575,9 @@ func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
 	}
 	clock := 0.0
 	for i := 0; i < G; i++ {
+		if headRes[i] == nil {
+			continue
+		}
 		if now := fleet.Machine(i).Now(); now > clock {
 			clock = now
 		}
@@ -569,6 +595,9 @@ func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
 		} else {
 			fullAct = tensor.New(headOut, mustDims(g, headOut)...)
 			for i := 0; i < G; i++ {
+				if headFeat[i] == nil {
+					continue
+				}
 				copyBatchSlice(fullAct, B, offs[i], headFeat[i], shards[i], 0, shards[i])
 			}
 		}

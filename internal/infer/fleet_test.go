@@ -8,8 +8,10 @@ import (
 	"testing"
 
 	"swatop/internal/cache"
+	"swatop/internal/graph"
 	"swatop/internal/metrics"
 	"swatop/internal/sw26010"
+	"swatop/internal/workloads"
 )
 
 // fleetOpts is the shared fleet configuration of these tests: batches
@@ -261,6 +263,89 @@ func TestFleetPipeline(t *testing.T) {
 	}
 }
 
+// TestFleetEmptyShards is the groups > batch regression test: zero shards
+// are skipped, not executed — the run succeeds, idle groups appear in the
+// report with zero batch and zero seconds, the functional output still
+// matches the single-machine run, and the result stays deterministic.
+func TestFleetEmptyShards(t *testing.T) {
+	e := newEngine(t)
+	lib := cache.NewLibrary()
+	ctx := context.Background()
+
+	// Hybrid path (tiny has an fc tail): batch 2 across 4 groups leaves two
+	// groups with no head work; they still take their fc column shards.
+	single, err := e.Run(ctx, tinyChain(t, 2), Options{
+		Workers: 2, Library: lib, SkipBaseline: true, Functional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fleetOpts(lib, 4)
+	opts.Functional = true
+	fleet, err := e.Run(ctx, tinyChain(t, 2), opts)
+	if err != nil {
+		t.Fatalf("batch 2 on 4 groups: %v", err)
+	}
+	if fleet.Mode != ModeDataParallel || len(fleet.Groups) != 4 {
+		t.Fatalf("mode %q with %d group rows", fleet.Mode, len(fleet.Groups))
+	}
+	batchSum := 0
+	for _, gr := range fleet.Groups {
+		batchSum += gr.Batch
+	}
+	if batchSum != 2 {
+		t.Fatalf("group batches sum to %d, want 2: %+v", batchSum, fleet.Groups)
+	}
+	if fleet.Groups[2].Batch != 0 || fleet.Groups[3].Batch != 0 {
+		t.Fatalf("trailing groups should be idle: %+v", fleet.Groups)
+	}
+	if fleet.Seconds <= 0 {
+		t.Fatalf("fleet seconds %g", fleet.Seconds)
+	}
+	maxErr := 0.0
+	for f := 0; f < single.Output.Len(); f++ {
+		d := math.Abs(float64(atFlat(single.Output, f)) - float64(atFlat(fleet.Output, f)))
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 2e-3 {
+		t.Fatalf("output drifts %g from the single-machine run", maxErr)
+	}
+	again, err := e.Run(ctx, tinyChain(t, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Seconds != fleet.Seconds {
+		t.Fatalf("nondeterministic: %.17g vs %.17g", again.Seconds, fleet.Seconds)
+	}
+
+	// Pure data-parallel path (no fc tail): the idle group's machine never
+	// runs, and the comm model gathers only from the groups that did.
+	convOnly := func(batch int) (*graph.Graph, error) {
+		return graph.Chain("convnet", batch,
+			[]workloads.ConvLayer{
+				{Net: "convnet", Name: "c1", Ni: 3, No: 16, R: 8, K: 3},
+			}, nil)
+	}
+	g, err := convOnly(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(ctx, g, Options{
+		Workers: 2, Library: lib, Groups: 3, Builder: convOnly, SkipBaseline: true,
+	})
+	if err != nil {
+		t.Fatalf("conv-only batch 2 on 3 groups: %v", err)
+	}
+	if len(res.Groups) != 3 || res.Groups[2].Batch != 0 || res.Groups[2].Seconds != 0 {
+		t.Fatalf("idle group row wrong: %+v", res.Groups)
+	}
+	if res.Seconds <= 0 {
+		t.Fatalf("fleet seconds %g", res.Seconds)
+	}
+}
+
 // TestFleetValidation pins the fleet's error surface.
 func TestFleetValidation(t *testing.T) {
 	e := newEngine(t)
@@ -273,7 +358,6 @@ func TestFleetValidation(t *testing.T) {
 		mut   func(*Options)
 		want  string
 	}{
-		{"batch smaller than groups", 2, func(o *Options) { o.Groups = 4 }, "smaller than"},
 		{"pipeline without groups", 4, func(o *Options) { o.Groups = 1; o.Pipeline = true }, "at least 2 groups"},
 		{"functional pipeline", 4, func(o *Options) { o.Pipeline = true; o.Functional = true }, "timed-only"},
 		{"too many groups", 8, func(o *Options) { o.Groups = sw26010.NumCG + 1 }, "core groups"},

@@ -66,6 +66,13 @@ type Options struct {
 	// Fallback degrades failed tuning runs to the manual baseline
 	// schedule (never cached) instead of failing the whole network.
 	Fallback bool
+	// NoTune disables the tuner entirely: operators resolve from the
+	// library or — with Fallback set — degrade straight to the baseline
+	// schedule. It is the serving daemon's circuit-breaker open state:
+	// when tuning keeps failing, stop attempting it and serve degraded
+	// results until a probe succeeds. Without Fallback, a library miss
+	// under NoTune is an error.
+	NoTune bool
 	// Faults, when non-nil, is threaded into tuning measurements only;
 	// the network's own execution machine stays clean — degradation is
 	// the recovery path and must work while tuning is being sabotaged.
@@ -701,6 +708,10 @@ func degrade(tuneErr error, fallback func() (*ir.Program, error)) (*resolvedOp, 
 	}, nil
 }
 
+// errNoTune marks a library miss while tuning is disabled (Options.NoTune):
+// the caller either degrades to the baseline or surfaces the miss.
+var errNoTune = errors.New("tuning disabled (schedule not in library)")
+
 // resolveOp mirrors the facade tuner's cache-then-tune flow for one
 // operator: a library hit recompiles the cached strategy (stale entries are
 // dropped and retuned), a miss runs the model-based search and records the
@@ -719,6 +730,9 @@ func (e *Engine) resolveOp(ctx context.Context, op autotune.Operator, opts Optio
 			}
 			opts.Library.Delete(op.Name())
 		}
+	}
+	if opts.NoTune {
+		return nil, fmt.Errorf("%s: %w", op.Name(), errNoTune)
 	}
 	res, err := autotune.ModelBasedCtx(ctx, op, e.model, autotune.Options{
 		Workers:              opts.Workers,

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -214,5 +215,77 @@ func TestServerCloseUnblocksStream(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("stream did not end on server close")
+	}
+}
+
+// TestServerEventsSSESlowConsumer wedges a real SSE client (connected but
+// never reading) under sustained event load: the bounded fanout must drop
+// events for that subscriber rather than block the emitters, and a healthy
+// concurrent subscriber must keep receiving. This is the serving daemon's
+// guarantee that a stuck dashboard cannot stall — or perturb — the
+// deterministic execution path.
+func TestServerEventsSSESlowConsumer(t *testing.T) {
+	s, obs, _ := newTestServer(t)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A wedged consumer: the HTTP response body is never read, so once the
+	// client-side transport buffer and the TCP windows fill, the /events
+	// handler goroutine blocks on the socket — and its 512-event channel
+	// overflows.
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for obs.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A healthy subscriber drained continuously, to show isolation.
+	healthy, cancel := obs.Subscribe(512)
+	defer cancel()
+	var received atomic.Int64
+	go func() {
+		for range healthy {
+			received.Add(1)
+		}
+	}()
+
+	// Sustained load: emit until the wedged stream has dropped events. The
+	// emitting (execution-path) goroutine must never block: bound the whole
+	// loop's wall clock, far above healthy emit cost and far below forever.
+	const batch = 10_000
+	start := time.Now()
+	for i := 0; obs.Dropped() == 0; i++ {
+		if time.Since(start) > 20*time.Second {
+			t.Fatalf("no drops after %d events — fanout is buffering unboundedly or blocking", i*batch)
+		}
+		for j := 0; j < batch; j++ {
+			obs.Emit(LevelInfo, "load.tick", F("i", i*batch+j))
+		}
+	}
+	if obs.Dropped() == 0 {
+		t.Fatal("wedged SSE consumer dropped nothing")
+	}
+	// The healthy subscriber kept receiving despite the wedged peer.
+	deadline = time.Now().Add(5 * time.Second)
+	for received.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("healthy subscriber starved by a wedged peer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// And emitting stayed non-blocking: had Emit blocked on the wedged
+	// subscriber even once, the loop above would have hung, not returned.
+	if obs.Subscribers() != 2 {
+		t.Fatalf("Subscribers = %d, want the wedged and the healthy one", obs.Subscribers())
 	}
 }

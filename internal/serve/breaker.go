@@ -1,0 +1,131 @@
+package serve
+
+import "sync"
+
+// Breaker states. The serving daemon's execution path is guarded by a
+// classic three-state circuit breaker, except that "open" does not reject
+// work — it degrades it: batches run in cache-or-baseline mode
+// (infer.Options.NoTune + Fallback) instead of attempting fresh tuning.
+// Rejecting would turn a sick tuner into an outage; degrading keeps every
+// admitted request answered, just flagged.
+const (
+	// BreakerClosed: normal operation, tuning allowed.
+	BreakerClosed = "closed"
+	// BreakerOpen: repeated failures tripped the breaker; batches execute
+	// in degraded (baseline-fallback, no-tune) mode.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: the cooldown elapsed and the next batch is a tuned
+	// probe — success closes the breaker, failure re-opens it.
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker tracks consecutive batch failures and decides the execution mode
+// of the next batch. All methods are safe for concurrent use (the batcher
+// is single-goroutine today, but /serverz reads the state live).
+type breaker struct {
+	mu sync.Mutex
+	// threshold is how many consecutive bad batches trip the breaker;
+	// cooldown is how many degraded batches run before a tuned probe.
+	threshold int
+	cooldown  int
+
+	state     string
+	badStreak int // consecutive bad batches while closed
+	sinceOpen int // degraded batches served since the breaker opened
+	trips     uint64
+}
+
+func newBreaker(threshold, cooldown int) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown < 1 {
+		cooldown = 8
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
+}
+
+// allowTuning reports whether the next batch may tune (true) or must run
+// degraded (false). While open it counts the degraded batches served and
+// promotes to half-open — letting one tuned probe through — once the
+// cooldown has elapsed.
+func (b *breaker) allowTuning() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // open
+		b.sinceOpen++
+		if b.sinceOpen > b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// record feeds one batch outcome back. bad means the batch either hard-
+// failed or produced degraded (fallback) resolutions — both indicate the
+// tuning/measurement path is unhealthy. Returns the state transition as
+// (from, to) when one happened ("" otherwise) so the caller can emit one
+// event per transition, not per batch.
+func (b *breaker) record(bad bool) (from, to string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if !bad {
+			b.badStreak = 0
+			return "", ""
+		}
+		b.badStreak++
+		if b.badStreak >= b.threshold {
+			b.state = BreakerOpen
+			b.sinceOpen = 0
+			b.trips++
+			return BreakerClosed, BreakerOpen
+		}
+	case BreakerHalfOpen:
+		if bad {
+			b.state = BreakerOpen
+			b.sinceOpen = 0
+			b.badStreak = 0
+			b.trips++
+			return BreakerHalfOpen, BreakerOpen
+		}
+		b.state = BreakerClosed
+		b.badStreak = 0
+		return BreakerHalfOpen, BreakerClosed
+	case BreakerOpen:
+		// Outcomes of degraded batches don't move the state; only the
+		// half-open probe does.
+	}
+	return "", ""
+}
+
+// State returns the current state name.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// stateGauge maps the state to the serve_breaker_state metric value.
+func stateGauge(state string) float64 {
+	switch state {
+	case BreakerOpen:
+		return 1
+	case BreakerHalfOpen:
+		return 2
+	default:
+		return 0
+	}
+}

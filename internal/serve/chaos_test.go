@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"swatop/internal/cache"
+	"swatop/internal/faults"
+	"swatop/internal/metrics"
+)
+
+// TestChaosServingUnderFaults is the `make chaos` entry point: the full
+// HTTP serving path under concurrent load while the fault injector fails
+// half of all tuning measurements and periodically stalls the compute
+// pipeline, followed by a DMA-transfer-failure phase. The daemon's
+// contract under injected measurement failure is strict:
+//
+//   - every request is answered with 200 (possibly degraded), 429 (shed)
+//     or 408 (deadline) — never a 5xx, never a crash;
+//   - degraded responses are flagged, and their count matches the
+//     serve_degraded_total counter;
+//   - a degraded schedule is never cached (the library holds only ops
+//     tuned by runs that completed their measurements);
+//   - after the storm, a drain still completes and refuses new work.
+//
+// Run under -race: the injector fires inside machine goroutines while the
+// batcher, breaker and HTTP handlers run concurrently, so this doubles as
+// a data-race probe of the whole failure path.
+func TestChaosServingUnderFaults(t *testing.T) {
+	inj := faults.New(42)
+	inj.FailWithProbability(faults.Measure, 0.5, errors.New("chaos: injected measurement failure"))
+	inj.StallEveryNth(faults.ComputeStall, 7, 0.002)
+
+	lib := cache.NewLibrary()
+	reg := metrics.NewRegistry()
+	s, err := New(Config{
+		Net:              "tiny",
+		Builder:          tinyBuilder,
+		MaxBatch:         4,
+		BatchWindow:      time.Millisecond,
+		QueueDepth:       8,
+		Workers:          2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  2,
+		Library:          lib,
+		Metrics:          reg,
+		Faults:           inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients, perClient = 16, 20
+	type tally struct {
+		statuses map[int]int
+		degraded int
+	}
+	results := make([]tally, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tl := tally{statuses: map[int]int{}}
+			for i := 0; i < perClient; i++ {
+				req := Request{ID: fmt.Sprintf("c%d-r%d", c, i)}
+				if i%5 == 4 {
+					// Every fifth request carries a hopeless deadline so the
+					// 408 path runs under chaos too.
+					req.DeadlineMs = 0.0001
+				}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				tl.statuses[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK {
+					var r Response
+					if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+						t.Errorf("client %d: decode: %v", c, err)
+					}
+					if r.Degraded {
+						tl.degraded++
+					}
+				} else {
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+			}
+			results[c] = tl
+		}(c)
+	}
+	wg.Wait()
+
+	merged := map[int]int{}
+	degraded := 0
+	for _, tl := range results {
+		for code, n := range tl.statuses {
+			merged[code] += n
+		}
+		degraded += tl.degraded
+	}
+	for code := range merged {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusRequestTimeout:
+		default:
+			t.Fatalf("status %d under fault injection (%d times); statuses: %v",
+				code, merged[code], merged)
+		}
+	}
+	if merged[http.StatusOK] == 0 {
+		t.Fatalf("no request served under chaos: %v", merged)
+	}
+	if degraded == 0 {
+		t.Fatalf("half of all measurements failing produced zero degraded responses: %v", merged)
+	}
+	if got := int(reg.Counter("serve_degraded_total").Value()); got != degraded {
+		t.Fatalf("serve_degraded_total = %d, clients saw %d degraded responses", got, degraded)
+	}
+	t.Logf("chaos: %v, %d degraded, %d cached schedules, breaker %s (%d trips)",
+		merged, degraded, lib.Len(), s.Status().Breaker, s.Status().BreakerTrips)
+
+	// Phase 2: DMA transfer faults. Unlike a measurement failure, a DMA
+	// fault during batch execution is a hard error the baseline schedule
+	// cannot absorb — so the contract here is weaker but still strict:
+	// failed batches answer 500 and charge the breaker, the daemon itself
+	// never dies or wedges, and every request gets *an* answer.
+	inj.FailEveryNth(faults.DMATransfer, 500, errors.New("chaos: injected DMA failure"))
+	dmaStatuses := map[int]int{}
+	for i := 0; i < 40; i++ {
+		resp, err := http.Post(ts.URL+"/infer", "application/json",
+			bytes.NewReader([]byte(fmt.Sprintf(`{"id":"dma-%d"}`, i))))
+		if err != nil {
+			t.Fatalf("dma phase request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		dmaStatuses[resp.StatusCode]++
+	}
+	inj.Disarm(faults.DMATransfer)
+	for code := range dmaStatuses {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests,
+			http.StatusRequestTimeout, http.StatusInternalServerError:
+		default:
+			t.Fatalf("status %d under DMA faults: %v", code, dmaStatuses)
+		}
+	}
+	t.Logf("chaos dma phase: %v, breaker %s", dmaStatuses, s.Status().Breaker)
+
+	// The storm must not have poisoned the cache: disarm the faults and
+	// keep submitting. If the breaker is open it first spends its cooldown
+	// batches degraded, then a probe batch tunes and closes it — recovery
+	// must arrive within a handful of batches, every response's degraded
+	// flag must match its op counts (a mixed run with cached ops and
+	// baseline-fallback ops is degraded; cached ops themselves come only
+	// from fully-measured schedules, because degraded runs never Put), and
+	// once recovered the run is fully tuned.
+	inj.Disarm(faults.Measure)
+	inj.Disarm(faults.ComputeStall)
+	recovered := false
+	for i := 0; i < 12 && !recovered; i++ {
+		res, err := s.Submit(context.Background(), Request{ID: fmt.Sprintf("replay-%d", i)})
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if res.Degraded != (res.DegradedOps > 0) {
+			t.Fatalf("degraded flag inconsistent with op counts: %+v", res)
+		}
+		recovered = !res.Degraded
+	}
+	if !recovered {
+		t.Fatal("still serving degraded after the faults cleared")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+	if _, err := s.Submit(context.Background(), Request{ID: "late"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,254 @@
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"swatop/internal/cache"
+	"swatop/internal/faults"
+	"swatop/internal/graph"
+	"swatop/internal/metrics"
+	"swatop/internal/serve"
+	"swatop/internal/workloads"
+)
+
+func tinyBuilder(batch int) (*graph.Graph, error) {
+	return graph.Chain("tiny", batch,
+		[]workloads.ConvLayer{
+			{Net: "tiny", Name: "c1", Ni: 3, No: 16, R: 8, K: 3},
+			{Net: "tiny", Name: "c2", Ni: 16, No: 16, R: 8, K: 3},
+			{Net: "tiny", Name: "c3", Ni: 16, No: 16, R: 4, K: 3},
+		},
+		[]workloads.FCLayer{
+			{Net: "tiny", Name: "f1", In: 16 * 2 * 2, Out: 32},
+			{Net: "tiny", Name: "f2", In: 32, Out: 12},
+		})
+}
+
+// startServer builds, warms and HTTP-mounts a daemon, with cleanup draining
+// it.
+func startServer(t *testing.T, cfg serve.Config, warm bool) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Builder == nil {
+		cfg.Builder = tinyBuilder
+	}
+	if cfg.Net == "" {
+		cfg.Net = "tiny"
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		if _, err := s.Warmup(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func assertNo5xx(t *testing.T, rep *Report) {
+	t.Helper()
+	for status, n := range rep.Statuses {
+		if status >= 500 {
+			t.Errorf("%d responses with 5xx status %d", n, status)
+		}
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d transport errors", rep.Errors)
+	}
+}
+
+// TestLoad2000Concurrent is the headline acceptance run: 2000 requests from
+// 32 concurrent closed-loop clients against a warmed daemon, producing a
+// p50/p99 latency and shed-rate report. With the queue sized above the
+// client count nothing sheds and every request is served.
+func TestLoad2000Concurrent(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts := startServer(t, serve.Config{
+		MaxBatch:    8,
+		BatchWindow: 500 * time.Microsecond,
+		QueueDepth:  64,
+		Metrics:     reg,
+	}, true)
+
+	rep, err := Run(ts.URL, Options{Clients: 32, Requests: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	assertNo5xx(t, rep)
+	if rep.OK != 2000 {
+		t.Fatalf("served %d of 2000 (statuses %v)", rep.OK, rep.Statuses)
+	}
+	if rep.Degraded != 0 {
+		t.Errorf("%d degraded responses on a healthy warmed server", rep.Degraded)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Errorf("implausible latency report: p50 %.3f p99 %.3f", rep.P50Ms, rep.P99Ms)
+	}
+	if got := reg.Counter("serve_responses_total").Value(); got != 2000 {
+		t.Errorf("serve_responses_total = %d, want 2000", got)
+	}
+}
+
+// TestLoadOverloadSheds drives 2x the server's capacity (queue + one batch)
+// in closed loop: the daemon must shed with 429s and keep serving — and
+// never answer 5xx.
+func TestLoadOverloadSheds(t *testing.T) {
+	// A sleeping builder pins batch wall time at >= 5ms, so the closed-loop
+	// burst always finds the queue full.
+	slowBuilder := func(b int) (*graph.Graph, error) {
+		time.Sleep(5 * time.Millisecond)
+		return tinyBuilder(b)
+	}
+	reg := metrics.NewRegistry()
+	const queueDepth, maxBatch = 8, 4
+	_, ts := startServer(t, serve.Config{
+		Builder:     slowBuilder,
+		MaxBatch:    maxBatch,
+		BatchWindow: 500 * time.Microsecond,
+		QueueDepth:  queueDepth,
+		Metrics:     reg,
+	}, true)
+
+	capacity := queueDepth + maxBatch
+	rep, err := Run(ts.URL, Options{Clients: 2 * capacity, Requests: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	assertNo5xx(t, rep)
+	if rep.Shed == 0 {
+		t.Fatalf("no sheds at 2x capacity (%d clients): %v", 2*capacity, rep.Statuses)
+	}
+	if rep.OK == 0 {
+		t.Fatal("overloaded server served nothing")
+	}
+	if rep.OK+rep.Shed+rep.Expired != rep.Total {
+		t.Errorf("unaccounted outcomes: %v over %d", rep.Statuses, rep.Total)
+	}
+	if got := reg.Counter("serve_shed_total").Value(); got != int64(rep.Shed) {
+		t.Errorf("serve_shed_total = %d, client saw %d", got, rep.Shed)
+	}
+}
+
+// TestLoadDrainFinishesInFlight drains the daemon in the middle of a load
+// run (the SIGTERM path): every admitted request must still be answered
+// 200, later arrivals get 503, and nothing is lost.
+func TestLoadDrainFinishesInFlight(t *testing.T) {
+	slowBuilder := func(b int) (*graph.Graph, error) {
+		time.Sleep(2 * time.Millisecond)
+		return tinyBuilder(b)
+	}
+	reg := metrics.NewRegistry()
+	s, ts := startServer(t, serve.Config{
+		Builder:     slowBuilder,
+		MaxBatch:    4,
+		BatchWindow: time.Millisecond,
+		QueueDepth:  16,
+		Metrics:     reg,
+	}, true)
+
+	repCh := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(ts.URL, Options{Clients: 16, Requests: 800})
+		if err != nil {
+			t.Error(err)
+		}
+		repCh <- rep
+	}()
+
+	// Let the run get firmly in flight, then pull the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Counter("serve_responses_total").Value() < 50 {
+		if time.Now().After(deadline) {
+			t.Fatal("load run did not make progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+
+	rep := <-repCh
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	t.Logf("\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("%d transport errors", rep.Errors)
+	}
+	for status, n := range rep.Statuses {
+		switch status {
+		case http.StatusOK, http.StatusTooManyRequests,
+			http.StatusRequestTimeout, http.StatusServiceUnavailable:
+		default:
+			t.Errorf("%d responses with unexpected status %d during drain", n, status)
+		}
+	}
+	if rep.Draining == 0 {
+		t.Error("no 503s — drain did not overlap the load run")
+	}
+	// The drain guarantee: everything admitted was answered.
+	admitted := reg.Counter("serve_admitted_total").Value()
+	answered := reg.Counter("serve_responses_total").Value() +
+		reg.Counter("serve_deadline_expired_total").Value()
+	if admitted != answered {
+		t.Errorf("admitted %d but answered %d — drain dropped in-flight work", admitted, answered)
+	}
+	if _, err := s.Submit(context.Background(), serve.Request{}); !errors.Is(err, serve.ErrDraining) {
+		t.Errorf("post-drain submit error %v, want ErrDraining", err)
+	}
+}
+
+// TestLoadDegradedFlaggedNeverCached runs the whole HTTP path under total
+// measurement failure: every served response must carry the degraded flag
+// and the schedule cache must stay empty.
+func TestLoadDegradedFlaggedNeverCached(t *testing.T) {
+	inj := faults.New(7)
+	inj.FailEveryNth(faults.Measure, 1, errors.New("injected measurement failure"))
+	lib := cache.NewLibrary()
+	s, ts := startServer(t, serve.Config{
+		MaxBatch:    4,
+		BatchWindow: 500 * time.Microsecond,
+		QueueDepth:  32,
+		Buckets:     []int{4},
+		Library:     lib,
+		Faults:      inj,
+	}, false) // cold: every batch must tune, and every tune fails
+
+	rep, err := Run(ts.URL, Options{Clients: 8, Requests: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	assertNo5xx(t, rep)
+	if rep.OK == 0 {
+		t.Fatal("faulted server served nothing — fallback is not serving")
+	}
+	if rep.Degraded != rep.OK {
+		t.Errorf("%d of %d served responses flagged degraded, want all", rep.Degraded, rep.OK)
+	}
+	if got := lib.Len(); got != 0 {
+		t.Errorf("schedule cache has %d entries after degraded-only serving, want 0", got)
+	}
+	if got := s.Library().Len(); got != 0 {
+		t.Errorf("server library has %d entries, want 0", got)
+	}
+}
