@@ -7,7 +7,7 @@ GO ?= go
 COVER_BASELINE ?= 69.0
 
 .PHONY: all build vet unreachable fmt test race fuzz shuffle cover chaos ci \
-	bench bench-snapshot bench-check
+	search-check bench bench-snapshot bench-check
 
 all: build
 
@@ -36,11 +36,13 @@ race:
 	$(GO) test -race ./...
 
 # Fuzz smoke: the schedule-library loader must quarantine arbitrary corrupt
-# input, and the event encoder must emit valid JSON/SSE frames for any
-# input — neither may ever crash.
+# input, the event encoder must emit valid JSON/SSE frames for any input,
+# and the search feature extractor must return a fixed-length finite vector
+# for any candidate — none may ever crash.
 fuzz:
 	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzLibraryLoad -fuzztime 10s
 	$(GO) test ./internal/obsrv -run '^$$' -fuzz FuzzEventEncoder -fuzztime 10s
+	$(GO) test ./internal/search -run '^$$' -fuzz FuzzFeatureVector -fuzztime 10s
 
 # Order-independence: tests must pass in any execution order (catches
 # hidden coupling through shared caches, libraries or package state).
@@ -65,8 +67,14 @@ cover:
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% fell below baseline $(COVER_BASELINE)%"; exit 1; }
 
+# Sample-efficient-search quality gate: the evolutionary searcher at a 10%
+# measurement budget must stay within 5% of the exhaustive walk's schedule
+# on every unique VGG16 conv shape (and within 10% aggregate coverage).
+search-check:
+	$(GO) run ./cmd/swbench -search-check
+
 # The tier-1 loop: what every change must keep green.
-ci: build vet unreachable fmt test race fuzz shuffle cover chaos
+ci: build vet unreachable fmt test race fuzz shuffle cover chaos search-check
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -39,8 +39,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  swatop gemm -m M -n N -k K [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json] [-listen addr]
-  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json] [-listen addr]`)
+  swatop gemm -m M -n N -k K [-searcher evo|anneal] [-budget F] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json] [-listen addr]
+  swatop conv -method implicit|explicit|winograd -b B -ni Ni -no No -r R [-kernel K] [-searcher evo|anneal] [-budget F] [-fallback] [-retries N] [-deadline D] [-c out.c] [-ir] [-metrics -|file] [-trace-out t.json] [-listen addr]`)
 	os.Exit(2)
 }
 
@@ -56,12 +56,14 @@ func gemmCmd(args []string) {
 	obsFlags := cliobs.Register(fs,
 		"write the tuned schedule's execution timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
 	fallback, retries, deadline := resilienceFlags(fs)
+	sName, sBudget, sSeed := searchFlags(fs)
 	_ = fs.Parse(args)
 
 	sess, err := obsFlags.Start("swatop", metricsReg)
 	check(err)
 	defer sess.Close()
 	tuner := mustTuner(sess, *workers, *fallback, *retries)
+	applySearch(tuner, *sName, *sBudget, *sSeed)
 	ctx, cancel := deadlineCtx(sess.Context(), *deadline)
 	defer cancel()
 	stop := sess.StartProgress(os.Stderr)
@@ -97,6 +99,7 @@ func convCmd(args []string) {
 	obsFlags := cliobs.Register(fs,
 		"write the tuned schedule's execution timeline as Chrome trace-event JSON (opens in ui.perfetto.dev)")
 	fallback, retries, deadline := resilienceFlags(fs)
+	sName, sBudget, sSeed := searchFlags(fs)
 	_ = fs.Parse(args)
 
 	s := swatop.ConvShape{B: *b, Ni: *ni, No: *no, Ro: *r, Co: *r, Kr: *kk, Kc: *kk}
@@ -104,6 +107,7 @@ func convCmd(args []string) {
 	check(err)
 	defer sess.Close()
 	tuner := mustTuner(sess, *workers, *fallback, *retries)
+	applySearch(tuner, *sName, *sBudget, *sSeed)
 	ctx, cancel := deadlineCtx(sess.Context(), *deadline)
 	defer cancel()
 	stop := sess.StartProgress(os.Stderr)
@@ -125,6 +129,36 @@ func convCmd(args []string) {
 	}
 	check(cliobs.WriteTrace(obsFlags.TraceOut, tuned.WriteChromeTrace))
 	check(sess.WriteMetrics(false))
+}
+
+// searchFlags registers the sample-efficient-search flags shared by both
+// subcommands. An empty -searcher keeps the exhaustive walk, bit-identical
+// to earlier releases.
+func searchFlags(fs *flag.FlagSet) (name *string, budget *float64, seed *uint64) {
+	name = fs.String("searcher", "",
+		"search strategy: evo (evolutionary) or anneal (simulated annealing); empty = exhaustive walk")
+	budget = fs.Float64("budget", 0,
+		"fraction of the schedule space a -searcher may measure (0 = default 0.10)")
+	seed = fs.Uint64("search-seed", 0,
+		"search RNG seed (0 = derived from the operator name; results are deterministic either way)")
+	return
+}
+
+// applySearch configures the tuner from the -searcher/-budget/-search-seed
+// flags.
+func applySearch(t *swatop.Tuner, name string, budget float64, seed uint64) {
+	s, err := swatop.SearcherByName(name)
+	check(err)
+	if s == nil {
+		return
+	}
+	t.SetSearcher(s)
+	if budget > 0 {
+		t.SetSearchBudget(budget)
+	}
+	if seed != 0 {
+		t.SetSearchSeed(seed)
+	}
 }
 
 // resilienceFlags registers the failure-policy flags shared by both
@@ -171,6 +205,10 @@ func reportTuned(tuned *swatop.Tuned, baseline float64, baseName string) {
 		fmt.Printf("failed cands   : %d (panicked or exhausted retries; skipped)\n", n)
 	}
 	fmt.Printf("schedule space : %d valid candidates\n", tuned.SpaceSize())
+	if m, sp := tuned.MeasuredCandidates(), tuned.SpacePoints(); m > 0 && sp > 0 {
+		fmt.Printf("searched       : %d of %d points (%.1f%% coverage)\n",
+			m, sp, 100*float64(m)/float64(sp))
+	}
 	fmt.Printf("selected       : %s\n", tuned.Strategy())
 	fmt.Printf("simulated time : %.4g ms  (%.0f GFLOPS per core group)\n",
 		tuned.Seconds()*1e3, tuned.GFLOPS())

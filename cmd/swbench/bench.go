@@ -111,6 +111,39 @@ func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error)
 		GFLOPS:         rep.GFLOPS,
 	})
 
+	// The sample-efficient-search row: the same batch-1 inference tuned by
+	// the evolutionary searcher at the default 10% measurement budget.
+	// Informational but deterministic — it records how close budgeted
+	// search stays to the exhaustive row above, and at what coverage.
+	reg = swatop.NewMetricsRegistry()
+	eng, err = swatop.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	eng.SetWorkers(workers)
+	eng.SetMetrics(reg)
+	eng.SetObserver(sess.Observer)
+	eng.SetSearcher(swatop.NewEvoSearcher())
+	start = time.Now()
+	rep, err = eng.Infer("vgg16", 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench vgg16-b1-evo: %w", err)
+	}
+	cands := reg.Counter("autotune_candidates_total").Value()
+	space := reg.Counter("autotune_space_points_total").Value()
+	evoRow := bench.Workload{
+		Name:           "vgg16-b1-evo",
+		MachineSeconds: rep.Seconds,
+		WallSeconds:    time.Since(start).Seconds(),
+		Candidates:     cands,
+		GFLOPS:         rep.GFLOPS,
+		SpacePoints:    space,
+	}
+	if space > 0 {
+		evoRow.CoveragePct = 100 * float64(cands) / float64(space)
+	}
+	snap.Workloads = append(snap.Workloads, evoRow)
+
 	// The scale-out throughput rows: VGG16 batch 8 on one core group and
 	// on the full 4-group fleet (hybrid data parallelism). Gating their
 	// machine seconds gates the fleet speedup.

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	swbench [-full] [-csv] [-json] [-workers N] [-metrics -|file]
-//	        [-trace-out trace.json] [-listen addr] [experiment ...]
+//	swbench [-full] [-csv] [-json] [-workers N] [-searcher evo|anneal]
+//	        [-budget F] [-metrics -|file] [-trace-out trace.json]
+//	        [-listen addr] [experiment ...]
 //	swbench -bench-out BENCH.json
 //	swbench -bench-against BENCH.json [-bench-tolerance pct]
+//	swbench -search-check
 //
 // Experiments: substrate fig5 fig6 fig7 table1 fig8 table2 table3 fig9
 // fig10 fig11 (default: all). -full runs the complete parameter grids
@@ -22,6 +24,12 @@
 // batch-1 inference, and VGG16 batch-8 throughput on 1 and 4 core
 // groups), writing or gating on a machine-seconds snapshot — the repo's
 // performance trajectory record.
+//
+// -searcher replaces the exhaustive schedule walk with a sample-efficient
+// search (evolutionary or simulated annealing) that measures at most
+// -budget of each space; -search-check is the quality gate that holds the
+// evolutionary searcher to within 5% of the exhaustive result on the VGG16
+// conv set.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"swatop"
 	"swatop/internal/autotune"
 	"swatop/internal/bench"
 	"swatop/internal/cliobs"
@@ -53,9 +62,21 @@ func main() {
 		"run the canonical performance workloads and compare against this snapshot file (exit 1 on regression)")
 	benchTolerance := flag.Float64("bench-tolerance", bench.DefaultTolerancePct,
 		"allowed machine-seconds regression in percent for -bench-against")
+	searcherName := flag.String("searcher", "",
+		"search strategy: evo or anneal; empty = exhaustive walk (results stay worker-count independent)")
+	budget := flag.Float64("budget", 0,
+		"fraction of each schedule space a -searcher may measure (0 = default 0.10)")
+	searchCheck := flag.Bool("search-check", false,
+		"quality gate: tune the VGG16 conv set exhaustively and with '-searcher evo -budget 0.10'; exit 1 if any layer's chosen schedule is >5% slower")
 	obsFlags := cliobs.Register(flag.CommandLine,
 		"write a host-side experiment timeline (wall time) as Chrome trace-event JSON")
 	flag.Parse()
+
+	searcher, err := swatop.SearcherByName(*searcherName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		os.Exit(2)
+	}
 
 	runner, err := experiments.NewRunner()
 	if err != nil {
@@ -64,6 +85,8 @@ func main() {
 	}
 	runner.Quick = !*full
 	runner.Workers = *workers
+	runner.Searcher = searcher
+	runner.SearchBudget = *budget
 	if *retries > 1 {
 		runner.Retry = autotune.Retry{Attempts: *retries}
 	}
@@ -76,6 +99,19 @@ func main() {
 	}
 	defer sess.Close()
 	runner.Observer = sess.Observer
+
+	if *searchCheck {
+		code := searchCheckCmd(sess, *workers)
+		if err := sess.WriteMetrics(true); err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			code = 1
+		}
+		if code != 0 {
+			sess.Close()
+			os.Exit(code)
+		}
+		return
+	}
 
 	if *benchOut != "" || *benchAgainst != "" {
 		code := benchCmd(sess, *benchOut, *benchAgainst, *benchTolerance, *workers)
@@ -93,9 +129,18 @@ func main() {
 	progress := false
 	runner.Progress = func(done, total int) {
 		progress = true
-		// The candidate count comes from the live registry: cumulative over
-		// the whole session, not just the current sweep entry.
+		// Counts come from the live registry: cumulative over the whole
+		// session, not just the current sweep entry. Space points are
+		// recorded by every tuning run, so the coverage ratio shows how
+		// much of the candidate space was actually measured — 100% for the
+		// exhaustive walk, the budget fraction under -searcher.
 		cands := reg.Counter("autotune_candidates_total").Value()
+		space := reg.Counter("autotune_space_points_total").Value()
+		if space > 0 {
+			fmt.Fprintf(os.Stderr, "\r%d/%d tuned (%d of %d candidates measured, %.1f%% of space)",
+				done, total, cands, space, 100*float64(cands)/float64(space))
+			return
+		}
 		fmt.Fprintf(os.Stderr, "\r%d/%d tuned (%d candidates searched)", done, total, cands)
 	}
 

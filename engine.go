@@ -33,6 +33,9 @@ type Engine struct {
 	observer    *Observer
 	groups      int
 	pipeline    bool
+	searcher    Searcher
+	budget      float64
+	searchSeed  uint64
 }
 
 // NewEngine fits the cost model (the per-machine offline calibration) and
@@ -69,6 +72,20 @@ func (e *Engine) SetRetry(attempts int, base, max time.Duration) {
 // SetMaxCandidateFailures aborts a layer's tuning once more than n
 // candidates have failed (0 = unlimited).
 func (e *Engine) SetMaxCandidateFailures(n int) { e.maxFailures = n }
+
+// SetSearcher switches layer tuning to sample-efficient search, exactly as
+// Tuner.SetSearcher does (nil restores the exhaustive walk). The attached
+// Library doubles as the transfer source: later layers seed their search
+// from earlier layers' cached winners.
+func (e *Engine) SetSearcher(s Searcher) { e.searcher = s }
+
+// SetSearchBudget caps the fraction of each layer's candidate space a
+// searcher may measure (0 restores the 0.10 default).
+func (e *Engine) SetSearchBudget(frac float64) { e.budget = frac }
+
+// SetSearchSeed pins the searcher's RNG seed (0 derives a stable
+// per-operator seed).
+func (e *Engine) SetSearchSeed(seed uint64) { e.searchSeed = seed }
 
 // SetVerify enables functional execution: every tuned layer's output is
 // checked against the single-operator reference oracle with the given
@@ -254,6 +271,9 @@ func (e *Engine) InferCtx(ctx context.Context, net string, batch int) (*NetRepor
 		Progress:             e.progress,
 		Metrics:              e.metrics,
 		Observer:             e.observer,
+		Searcher:             e.searcher,
+		SearchBudget:         e.budget,
+		SearchSeed:           e.searchSeed,
 		Groups:               e.groups,
 		Pipeline:             e.pipeline,
 		Builder:              func(b int) (*graph.Graph, error) { return graph.ByName(net, b) },

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"swatop/internal/cache"
 	"swatop/internal/costmodel"
 	"swatop/internal/dsl"
 	"swatop/internal/exec"
@@ -36,6 +37,7 @@ import (
 	"swatop/internal/metrics"
 	"swatop/internal/obsrv"
 	"swatop/internal/schedule"
+	"swatop/internal/search"
 )
 
 // CompileLaunchOverheadSeconds is the per-candidate cost of compiling,
@@ -85,6 +87,15 @@ type Result struct {
 	// ledger (and the selected schedule) is identical whether or not
 	// retries happened along the way.
 	MachineSeconds float64
+	// Searcher-mode statistics, zero for the exhaustive walks: Proposed is
+	// how many candidates the searcher evaluated (compiled + predicted),
+	// Measured how many it actually ran, Rounds how many measure rounds it
+	// took, and Converged whether it stopped because progress stalled
+	// rather than because the budget ran out.
+	Proposed  int
+	Measured  int
+	Rounds    int
+	Converged bool
 }
 
 // TopK is how many of the model's best predictions the tuner actually runs
@@ -139,6 +150,25 @@ type Options struct {
 	// the selected schedule nor any metric (the bit-identical-snapshots
 	// invariant is asserted by TestObserverInert).
 	Observer *obsrv.Observer
+
+	// Searcher, when non-nil, switches ModelBasedCtx from the exhaustive
+	// estimate-everything walk to sample-efficient search (internal/search):
+	// the searcher proposes candidates, an online model predicts them, and
+	// only the top predictions are measured. Nil keeps the exhaustive walk
+	// bit-identical to its historical behaviour.
+	Searcher search.Searcher
+	// SearchBudget is the fraction of the candidate space the searcher may
+	// measure (0 defaults to 0.10). Ignored without a Searcher.
+	SearchBudget float64
+	// SearchSeed seeds the searcher's RNG. 0 derives a stable seed from
+	// the operator name, so repeated runs of the same shape reproduce.
+	// Ignored without a Searcher.
+	SearchSeed uint64
+	// Transfer, when non-nil alongside a Searcher, donates search seeds:
+	// the cached winners of the nearest already-tuned shapes of the same
+	// operator family (cache.Library.Nearest) are mapped into this space
+	// and start the population.
+	Transfer *cache.Library
 
 	// job is the live job the public entry points register; internal so
 	// runPool's collector — the only place that knows the failed count —
@@ -298,6 +328,9 @@ func ModelBased(op Operator, model *costmodel.GemmModel) (Result, error) {
 // predictions ordered by (predicted, index) — so the tuned schedule is
 // identical for any Workers value.
 func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel, opts Options) (Result, error) {
+	if opts.Searcher != nil {
+		return searchBased(ctx, op, model, opts)
+	}
 	t0 := time.Now()
 	opts.job = opts.Observer.Jobs().Start("tune", op.Name())
 	opts.Observer.Emit(obsrv.LevelInfo, "tune.start", obsrv.F("op", op.Name()))
@@ -342,6 +375,7 @@ func ModelBasedCtx(ctx context.Context, op Operator, model *costmodel.GemmModel,
 		return nil
 	}
 	spaceSize, failed, err := runPool(ctx, op, opts, eval, sink)
+	opts.Metrics.Counter("autotune_space_points_total").Add(int64(spaceSize))
 	searchWall := time.Since(t0).Seconds()
 	opts.Metrics.Gauge("autotune_search_wall_seconds").Add(searchWall)
 	if err != nil {
@@ -493,6 +527,7 @@ func BlackBoxCtx(ctx context.Context, op Operator, opts Options) (Result, error)
 		return nil
 	}
 	spaceSize, failed, err := runPool(ctx, op, opts, eval, sink)
+	opts.Metrics.Counter("autotune_space_points_total").Add(int64(spaceSize))
 	if err != nil {
 		err = fmt.Errorf("blackbox %s: %w", op.Name(), err)
 		opts.Observer.Emit(obsrv.LevelError, "tune.fail",

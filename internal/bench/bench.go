@@ -56,6 +56,14 @@ type Workload struct {
 	// gates the comparison — the serving row's machine seconds (the
 	// warmed bucket's simulated batch time) carry the gate.
 	P99Ms float64 `json:"p99_ms,omitempty"`
+	// SpacePoints is the total size of the schedule spaces walked, when
+	// recorded; with Candidates it makes budgeted-search rows legible
+	// (candidates/space = coverage). Zero on rows from exhaustive runs
+	// predating the field.
+	SpacePoints int64 `json:"space_points,omitempty"`
+	// CoveragePct is 100*Candidates/SpacePoints, recorded for budgeted
+	// search rows. Informational: machine seconds carry the gate.
+	CoveragePct float64 `json:"coverage_pct,omitempty"`
 }
 
 // Snapshot is the full document written by -bench-out.

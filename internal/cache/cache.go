@@ -51,6 +51,11 @@ type Entry struct {
 	SimulatedSeconds float64 `json:"simulated_seconds"`
 	// SpaceSize records how many candidates the tuner considered.
 	SpaceSize int `json:"space_size"`
+	// Degraded marks a baseline-fallback entry (served when tuning was
+	// sabotaged, see the facade's resilience path). Degraded entries are
+	// still served on exact Get hits but are never transfer seeds: a
+	// fallback schedule must not steer a neighboring shape's search.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Strategy reconstructs the dsl.Strategy.

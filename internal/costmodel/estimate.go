@@ -11,10 +11,18 @@ import (
 // Estimate is the static performance prediction of a lowered+optimized
 // program: T_DMA and T_compute accumulated separately, combined as
 // T_overall = max(T_DMA, T_compute) (the paper's software-prefetching
-// overlap assumption).
+// overlap assumption). DMABytes and DMATransactions tally the predicted
+// traffic behind the DMA time — the schedule-candidate features the learned
+// search model (internal/search) regresses over.
 type Estimate struct {
 	DMA     float64
 	Compute float64
+	// DMABytes is the predicted payload bytes moved by DMA (untouched by
+	// transaction rounding).
+	DMABytes float64
+	// DMATransactions is the predicted count of memory transactions,
+	// including misalignment and rounding waste per block.
+	DMATransactions float64
 }
 
 // Total returns max(DMA, Compute).
@@ -76,6 +84,8 @@ func (e *Estimator) block(body []ir.Stmt) (Estimate, error) {
 		}
 		acc.DMA += st.DMA
 		acc.Compute += st.Compute
+		acc.DMABytes += st.DMABytes
+		acc.DMATransactions += st.DMATransactions
 	}
 	return acc, nil
 }
@@ -139,8 +149,10 @@ func (e *Estimator) loop(f *ir.For) (Estimate, error) {
 	}
 	interior := float64(extent - 1)
 	return Estimate{
-		DMA:     first.DMA*interior + last.DMA,
-		Compute: first.Compute*interior + last.Compute,
+		DMA:             first.DMA*interior + last.DMA,
+		Compute:         first.Compute*interior + last.Compute,
+		DMABytes:        first.DMABytes*interior + last.DMABytes,
+		DMATransactions: first.DMATransactions*interior + last.DMATransactions,
 	}, nil
 }
 
@@ -164,7 +176,8 @@ func (e *Estimator) dma(mv *ir.RegionMove) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	return Estimate{DMA: DMATime(blocks)}, nil
+	bytes, txns := DMAStats(blocks)
+	return Estimate{DMA: DMATime(blocks), DMABytes: float64(bytes), DMATransactions: float64(txns)}, nil
 }
 
 func (e *Estimator) transform(x *ir.Transform) (Estimate, error) {

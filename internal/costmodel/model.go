@@ -36,6 +36,20 @@ func DMATime(blocks []tensor.Blocks) float64 {
 	return sw26010.DMAStartupSeconds + float64(touched)/sw26010.DMAEffBandwidth
 }
 
+// DMAStats predicts the payload bytes and memory-transaction count of a
+// strided pattern under the same Eq. (1) rounding DMATime charges —
+// per-candidate features for the learned search model.
+func DMAStats(blocks []tensor.Blocks) (payloadBytes, transactions int64) {
+	for _, b := range blocks {
+		misalign := (b.Offset * 4) % sw26010.TransactionBytes
+		bytes := b.Block * 4
+		per := int64((misalign + bytes + sw26010.TransactionBytes - 1) / sw26010.TransactionBytes)
+		payloadBytes += int64(bytes) * int64(b.Count)
+		transactions += per * int64(b.Count)
+	}
+	return payloadBytes, transactions
+}
+
 // variantIndex maps a GEMM variant to its coefficient row.
 func variantIndex(aTrans, bTrans bool, vec ir.VecDim) int {
 	i := 0

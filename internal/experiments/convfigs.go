@@ -23,6 +23,12 @@ type LayerRow struct {
 	Eff        float64 // direct-conv efficiency of the swATOP version
 	ChipTFlops float64
 	SpaceSize  int
+	// Measured and SpacePoints describe budgeted (Searcher) runs: how many
+	// candidates were actually measured out of how many raw schedule-space
+	// points. Both zero on exhaustive runs, where SpaceSize (the valid
+	// candidate count) tells the whole story.
+	Measured    int
+	SpacePoints int
 }
 
 // manualFor builds the best manual implementation for a method, or reports
@@ -100,6 +106,9 @@ func (r *Runner) convFig(method string, batches []int) ([]LayerRow, error) {
 			Net: l.Net, Layer: l.Name, Batch: b, Shape: s,
 			SwATOP:    tuned.Best.Measured,
 			SpaceSize: tuned.Valid,
+		}
+		if tuned.Measured > 0 {
+			row.Measured, row.SpacePoints = tuned.Measured, tuned.SpaceSize
 		}
 		row.Eff, row.ChipTFlops = Efficiency(s.FLOPs(), row.SwATOP)
 		manual, na, err := manualFor(method, s)

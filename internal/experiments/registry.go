@@ -65,9 +65,17 @@ func layerTable(title string, rows []LayerRow) *report.Table {
 			manual = report.Ms(row.Manual)
 			speed = fmt.Sprintf("%.2fx", row.Speedup)
 		}
+		// Budgeted (-searcher) runs show measured/space coverage instead of
+		// pretending the walk visited everything; exhaustive rows keep the
+		// valid-candidate count, byte-identical to earlier releases.
+		space := fmt.Sprint(row.SpaceSize)
+		if row.Measured > 0 && row.SpacePoints > 0 {
+			space = fmt.Sprintf("%d/%d (%.0f%%)", row.Measured, row.SpacePoints,
+				100*float64(row.Measured)/float64(row.SpacePoints))
+		}
 		t.AddRow(fmt.Sprintf("%s/%s", row.Net, row.Layer), row.Batch,
 			report.Ms(row.SwATOP), manual, speed,
-			fmt.Sprintf("%.0f%%", row.Eff*100), fmt.Sprintf("%.2f", row.ChipTFlops), row.SpaceSize)
+			fmt.Sprintf("%.0f%%", row.Eff*100), fmt.Sprintf("%.2f", row.ChipTFlops), space)
 	}
 	return t
 }

@@ -17,6 +17,7 @@ import (
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
 	"swatop/internal/obsrv"
+	"swatop/internal/search"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 )
@@ -57,6 +58,13 @@ type Runner struct {
 	// log and registers each search in the observer's JobTracker. Like
 	// Metrics, purely observational.
 	Observer *obsrv.Observer
+	// Searcher, when non-nil, switches every tuning run from the
+	// exhaustive walk to sample-efficient search with the given budget
+	// fraction (0 = the 0.10 default) and RNG seed (0 = per-operator
+	// stable seed) — the knobs behind swbench's -searcher/-budget flags.
+	Searcher     search.Searcher
+	SearchBudget float64
+	SearchSeed   uint64
 
 	mu         sync.Mutex // guards the lazily built sweep caches
 	progressMu sync.Mutex // serializes Progress callbacks
@@ -101,8 +109,7 @@ func (r *Runner) tuneConv(ctx context.Context, method string, s conv.Shape, work
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{
-		Workers: workers, Retry: r.Retry, Metrics: r.Metrics, Observer: r.Observer})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, r.tuneOptions(workers))
 	if err != nil {
 		return autotune.Result{}, err
 	}
@@ -112,6 +119,14 @@ func (r *Runner) tuneConv(ctx context.Context, method string, s conv.Shape, work
 	}
 	res.Best.Measured = secs
 	return res, nil
+}
+
+// tuneOptions assembles the shared tuner options of every sweep.
+func (r *Runner) tuneOptions(workers int) autotune.Options {
+	return autotune.Options{
+		Workers: workers, Retry: r.Retry, Metrics: r.Metrics, Observer: r.Observer,
+		Searcher: r.Searcher, SearchBudget: r.SearchBudget, SearchSeed: r.SearchSeed,
+	}
 }
 
 // ConvOp builds the tunable operator for a method name.
@@ -138,8 +153,7 @@ func (r *Runner) tuneGemm(ctx context.Context, p gemm.Params, workers int) (auto
 	if err != nil {
 		return autotune.Result{}, err
 	}
-	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, autotune.Options{
-		Workers: workers, Retry: r.Retry, Metrics: r.Metrics, Observer: r.Observer})
+	res, err := autotune.ModelBasedCtx(ctx, op, r.Model, r.tuneOptions(workers))
 	if err != nil {
 		return autotune.Result{}, err
 	}

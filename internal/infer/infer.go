@@ -26,6 +26,7 @@ import (
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
 	"swatop/internal/obsrv"
+	"swatop/internal/search"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 	"swatop/internal/trace"
@@ -80,6 +81,15 @@ type Options struct {
 	// Retry / MaxCandidateFailures mirror the tuner's resilience knobs.
 	Retry                autotune.Retry
 	MaxCandidateFailures int
+	// Searcher switches layer tuning to sample-efficient search
+	// (autotune.Options.Searcher); SearchBudget caps the measured fraction
+	// of each space and SearchSeed pins the searcher RNG. Nil Searcher
+	// keeps the exhaustive walk. The attached Library doubles as the
+	// transfer source: later layers seed their populations from earlier
+	// layers' cached winners.
+	Searcher     search.Searcher
+	SearchBudget float64
+	SearchSeed   uint64
 	// Functional executes with real float32 data and checks every tuned
 	// operator against its reference oracle (slow: use tiny networks).
 	// Timed-only otherwise, fast-forwarding long loops — machine seconds
@@ -741,6 +751,10 @@ func (e *Engine) resolveOp(ctx context.Context, op autotune.Operator, opts Optio
 		MaxCandidateFailures: opts.MaxCandidateFailures,
 		Metrics:              opts.Metrics,
 		Observer:             opts.Observer,
+		Searcher:             opts.Searcher,
+		SearchBudget:         opts.SearchBudget,
+		SearchSeed:           opts.SearchSeed,
+		Transfer:             opts.Library,
 	})
 	if err != nil {
 		return nil, err

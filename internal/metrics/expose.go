@@ -143,6 +143,15 @@ var defaultHelp = map[string]string{
 	"autotune_machine_seconds":         "Simulated machine seconds spent measuring candidates.",
 	"autotune_search_wall_seconds":     "Host wall seconds of the schedule search phase.",
 	"autotune_finalist_wall_seconds":   "Host wall seconds of the finalist measurement phase.",
+	"autotune_space_points_total":      "Raw schedule-space points of every tuned operator (coverage denominator).",
+	"search_candidates_proposed_total": "Candidates proposed (compiled and predicted) by sample-efficient searchers.",
+	"search_candidates_measured_total": "Proposed candidates actually measured on the simulated machine.",
+	"search_candidates_pruned_total":   "Proposed candidates pruned by the learned cost model without measurement.",
+	"search_rounds_total":              "Propose-predict-measure-learn rounds completed by searchers.",
+	"search_model_mae_seconds":         "Prequential mean absolute error of the online cost model, seconds.",
+	"search_budget_candidates":         "Measurement budget (candidate count) of the current search.",
+	"search_transfer_seeds_total":      "Population seeds donated by nearest-neighbor cached schedules.",
+	"cache_neighbor_lookups_total":     "Nearest-neighbor transfer lookups served by the schedule library.",
 	"exec_runs_total":                  "Programs executed on the simulated core group.",
 	"exec_run_failures_total":          "Program executions that returned an error.",
 	"exec_run_seconds":                 "Simulated machine seconds per program execution.",

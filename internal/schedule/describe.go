@@ -1,0 +1,238 @@
+// describe.go gives searchers random access into a schedule space. Stream
+// and Enumerate walk the space front to back; the sample-efficient
+// searchers (internal/search) instead need to jump to arbitrary points,
+// mutate them dimension-wise and map foreign strategies into the space —
+// all through the stable indices Stream established. Dims is that view: the
+// space as a mixed-radix number system whose digit order matches the
+// streaming enumeration exactly, so Dims.At(i) is bit-identical to the i-th
+// point Stream yields.
+package schedule
+
+import (
+	"sort"
+
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+)
+
+// Dims is the random-access descriptor of a schedule space: one digit per
+// schedule decision, ordered from most significant (the first axis' tile
+// factor) to least significant (the padding mode), matching Stream's
+// nesting order. Immutable after Describe; safe for concurrent use.
+type Dims struct {
+	p *plan
+	// radices[i] is the number of choices of digit i. Digit order:
+	// factor choices per axis (sorted axis names), layout choices per
+	// tensor (sorted tensor names), loop orders, vectorization, double
+	// buffering, padding.
+	radices []int
+	size    int
+}
+
+// Describe resolves a schedule space into its random-access descriptor.
+func Describe(seed *dsl.Seed, sp *dsl.Space) (*Dims, error) {
+	p, err := resolve(seed, sp)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dims{p: p, size: p.size()}
+	for _, fc := range p.factorChoices {
+		d.radices = append(d.radices, len(fc))
+	}
+	for _, lc := range p.layoutChoices {
+		d.radices = append(d.radices, len(lc))
+	}
+	d.radices = append(d.radices, len(p.orders), len(p.vecs), len(p.dbs), len(p.pads))
+	return d, nil
+}
+
+// Size is the number of points in the space (identical to Size()).
+func (d *Dims) Size() int { return d.size }
+
+// Radices returns the per-digit cardinalities, most significant first. The
+// returned slice is a copy; mutate freely.
+func (d *Dims) Radices() []int { return append([]int(nil), d.radices...) }
+
+// Digits decodes a stable enumeration index into its digit vector.
+// Panics when idx is out of [0, Size()).
+func (d *Dims) Digits(idx int) []int {
+	if idx < 0 || idx >= d.size {
+		panic("schedule: Digits index out of range")
+	}
+	digits := make([]int, len(d.radices))
+	for i := len(d.radices) - 1; i >= 0; i-- {
+		digits[i] = idx % d.radices[i]
+		idx /= d.radices[i]
+	}
+	return digits
+}
+
+// Index encodes a digit vector back into its stable enumeration index.
+// Digits outside their radix are clamped, so mutated vectors always map to
+// a real point.
+func (d *Dims) Index(digits []int) int {
+	idx := 0
+	for i, r := range d.radices {
+		dig := 0
+		if i < len(digits) {
+			dig = digits[i]
+		}
+		if dig < 0 {
+			dig = 0
+		}
+		if dig >= r {
+			dig = r - 1
+		}
+		idx = idx*r + dig
+	}
+	return idx
+}
+
+// At returns the schedule point at a stable enumeration index — the same
+// strategy Stream yields at that index, with freshly copied maps.
+func (d *Dims) At(idx int) dsl.Strategy {
+	digits := d.Digits(idx)
+	p := d.p
+	st := dsl.Strategy{
+		Factors: make(map[string]int, len(p.axes)),
+		Layouts: make(map[string][]int, len(p.tensors)),
+	}
+	pos := 0
+	for i, name := range p.axes {
+		st.Factors[name] = p.factorChoices[i][digits[pos]]
+		pos++
+	}
+	for i, name := range p.tensors {
+		st.Layouts[name] = p.layoutChoices[i][digits[pos]]
+		pos++
+	}
+	st.Order = p.orders[digits[pos]]
+	pos++
+	st.Vec = p.vecs[digits[pos]]
+	pos++
+	st.DoubleBuffer = p.dbs[digits[pos]]
+	pos++
+	st.Padding = p.pads[digits[pos]]
+	return st
+}
+
+// NearestIndex maps a strategy — possibly from another shape's schedule
+// space — onto the in-space point closest to it: each digit picks the
+// choice nearest the strategy's value (tile factors by smallest relative
+// distance, discrete choices by exact match or the first candidate). This
+// is how cross-shape transfer seeds a population: a neighbor shape's cached
+// winner lands on a legal point of the new space.
+func (d *Dims) NearestIndex(st dsl.Strategy) int {
+	p := d.p
+	digits := make([]int, 0, len(d.radices))
+	for i, name := range p.axes {
+		digits = append(digits, nearestFactor(p.factorChoices[i], st.Factors[name]))
+	}
+	for i, name := range p.tensors {
+		digits = append(digits, matchIntSlice(p.layoutChoices[i], st.Layouts[name]))
+	}
+	digits = append(digits, matchStrSlice(p.orders, st.Order))
+	digits = append(digits, matchVec(p.vecs, st.Vec))
+	digits = append(digits, matchBool(p.dbs, st.DoubleBuffer))
+	digits = append(digits, matchPad(p.pads, st.Padding))
+	return d.Index(digits)
+}
+
+// nearestFactor picks the menu entry with the smallest relative distance to
+// want (log-space distance, so 64→48 beats 64→128 beats 64→1). want <= 0
+// (axis absent from the foreign strategy) picks the first entry.
+func nearestFactor(menu []int, want int) int {
+	if want <= 0 {
+		return 0
+	}
+	best, bestDist := 0, -1.0
+	for i, f := range menu {
+		ratio := float64(f) / float64(want)
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if bestDist < 0 || ratio < bestDist {
+			best, bestDist = i, ratio
+		}
+	}
+	return best
+}
+
+func matchIntSlice(menu [][]int, want []int) int {
+	for i, cand := range menu {
+		if intSliceEq(cand, want) {
+			return i
+		}
+	}
+	return 0
+}
+
+func matchStrSlice(menu [][]string, want []string) int {
+	for i, cand := range menu {
+		if strSliceEq(cand, want) {
+			return i
+		}
+	}
+	return 0
+}
+
+func matchVec(menu []ir.VecDim, want ir.VecDim) int {
+	for i, v := range menu {
+		if v == want {
+			return i
+		}
+	}
+	return 0
+}
+
+func matchBool(menu []bool, want bool) int {
+	for i, b := range menu {
+		if b == want {
+			return i
+		}
+	}
+	return 0
+}
+
+func matchPad(menu []dsl.PaddingMode, want dsl.PaddingMode) int {
+	for i, pm := range menu {
+		if pm == want {
+			return i
+		}
+	}
+	return 0
+}
+
+func intSliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func strSliceEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FactorMenu exposes the resolved tile-factor menu of one axis (sorted axis
+// order), for feature extraction and tests. Returns nil for unknown axes.
+func (d *Dims) FactorMenu(axis string) []int {
+	i := sort.SearchStrings(d.p.axes, axis)
+	if i >= len(d.p.axes) || d.p.axes[i] != axis {
+		return nil
+	}
+	return append([]int(nil), d.p.factorChoices[i]...)
+}

@@ -1,0 +1,125 @@
+package schedule
+
+import (
+	"testing"
+
+	"swatop/internal/dsl"
+	"swatop/internal/ir"
+)
+
+func describeSpace() *dsl.Space {
+	sp := dsl.NewSpace()
+	sp.FactorVar("m", 16, 32, 64)
+	sp.FactorVar("n", 32, 64)
+	sp.FactorVar("k", 32, 128)
+	sp.Reorder("m", "n", "k")
+	sp.Reorder("n", "m", "k")
+	sp.Layout("A", 0, 1).Layout("A", 1, 0)
+	sp.DoubleBuffer = []bool{false, true}
+	sp.Padding = []dsl.PaddingMode{dsl.PadLightweight, dsl.PadTraditional}
+	return sp
+}
+
+// TestDescribeMatchesStream is the contract Dims exists for: At(i) must be
+// bit-identical to the i-th point Stream yields, for every i.
+func TestDescribeMatchesStream(t *testing.T) {
+	s, sp := seed(), describeSpace()
+	d, err := Describe(s, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Enumerate(s, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != len(want) {
+		t.Fatalf("Size() = %d, want %d", d.Size(), len(want))
+	}
+	for i, st := range want {
+		got := d.At(i)
+		if got.String() != st.String() {
+			t.Fatalf("At(%d) = %s, want %s", i, got, st)
+		}
+	}
+}
+
+func TestDigitsIndexRoundTrip(t *testing.T) {
+	d, err := Describe(seed(), describeSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := 1
+	for _, r := range d.Radices() {
+		if r <= 0 {
+			t.Fatalf("non-positive radix in %v", d.Radices())
+		}
+		prod *= r
+	}
+	if prod != d.Size() {
+		t.Fatalf("radix product %d != size %d", prod, d.Size())
+	}
+	for i := 0; i < d.Size(); i++ {
+		if back := d.Index(d.Digits(i)); back != i {
+			t.Fatalf("Index(Digits(%d)) = %d", i, back)
+		}
+	}
+	// Out-of-radix digits clamp to a legal point instead of corrupting the
+	// encoding — mutated vectors always land in the space.
+	big := make([]int, len(d.Radices()))
+	for i := range big {
+		big[i] = 1 << 20
+	}
+	if idx := d.Index(big); idx != d.Size()-1 {
+		t.Fatalf("clamped index = %d, want %d", idx, d.Size()-1)
+	}
+}
+
+// TestNearestIndexSelf: a strategy already in the space maps to itself.
+func TestNearestIndexSelf(t *testing.T) {
+	d, err := Describe(seed(), describeSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Size(); i++ {
+		if got := d.NearestIndex(d.At(i)); got != i {
+			t.Fatalf("NearestIndex(At(%d)) = %d", i, got)
+		}
+	}
+}
+
+// TestNearestIndexForeign: a strategy from another shape's space lands on
+// the nearest legal factors (log-space distance).
+func TestNearestIndexForeign(t *testing.T) {
+	d, err := Describe(seed(), describeSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := dsl.Strategy{
+		Factors: map[string]int{"m": 48, "n": 256, "k": 2},
+		Order:   []string{"k", "m", "n"}, // not a menu entry → first order
+		Vec:     ir.VecN,
+	}
+	st := d.At(d.NearestIndex(foreign))
+	// Relative distance: 48 → 64 (64/48≈1.33 beats 48/32=1.5); 256 → 64
+	// (largest entry); 2 → 32 (smallest entry).
+	if st.Factors["m"] != 64 || st.Factors["n"] != 64 || st.Factors["k"] != 32 {
+		t.Fatalf("nearest factors = %v", st.Factors)
+	}
+	if st.Vec != ir.VecN {
+		t.Fatalf("vec not preserved: %v", st.Vec)
+	}
+}
+
+func TestFactorMenu(t *testing.T) {
+	d, err := Describe(seed(), describeSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.FactorMenu("m")
+	if len(m) != 3 {
+		t.Fatalf("m menu = %v, want 3 entries", m)
+	}
+	if d.FactorMenu("nope") != nil {
+		t.Fatal("unknown axis must return nil")
+	}
+}

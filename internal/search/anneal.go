@@ -1,0 +1,179 @@
+package search
+
+import "math"
+
+// Annealing is the simulated-annealing searcher: several independent chains
+// random-walk the mixed-radix index space by single-digit moves, accepting
+// uphill steps with Metropolis probability exp(−Δ/T) on *predicted* seconds
+// (learned model once warm, analytic estimate before). Each round the
+// chains' current states are batch-measured, the measurements train the
+// model, and the temperature cools geometrically. Chains restart from the
+// global best when they wander somewhere the model considers hopeless.
+type Annealing struct {
+	// Chains is the number of parallel annealing walks. 0 defaults to 4.
+	Chains int
+	// StepsPerRound is how many proposal steps each chain takes between
+	// measure rounds. 0 defaults to 8.
+	StepsPerRound int
+	// BatchSize caps how many candidates each round measures (the chains'
+	// current states, deduped). 0 defaults to Chains.
+	BatchSize int
+	// Cooling is the per-round temperature multiplier. 0 defaults to 0.85.
+	Cooling float64
+	// InitTemp is the starting temperature on the relative-slowdown scale
+	// (see metropolis). 0 defaults to 0.5.
+	InitTemp float64
+	// Patience is how many consecutive rounds without improvement end the
+	// search. 0 defaults to 5.
+	Patience int
+}
+
+// Name implements Searcher.
+func (a *Annealing) Name() string { return "anneal" }
+
+func (a *Annealing) defaults() Annealing {
+	d := *a
+	if d.Chains <= 0 {
+		d.Chains = 4
+	}
+	if d.StepsPerRound <= 0 {
+		d.StepsPerRound = 8
+	}
+	if d.BatchSize <= 0 {
+		d.BatchSize = d.Chains
+	}
+	if d.Cooling <= 0 {
+		d.Cooling = 0.85
+	}
+	if d.InitTemp <= 0 {
+		d.InitTemp = 0.5
+	}
+	if d.Patience <= 0 {
+		d.Patience = 5
+	}
+	return d
+}
+
+// chain is one annealing walk.
+type chain struct {
+	cur  Point
+	pred float64
+}
+
+// Search implements Searcher.
+func (a *Annealing) Search(p *Problem) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	cfg := a.defaults()
+	r := newRNG(p.Seed)
+	t := newTracker(p)
+	radices := p.Radices
+
+	// Start chains on transfer seeds, then random feasible points.
+	chains := make([]chain, 0, cfg.Chains)
+	used := map[int]bool{}
+	start := func(idx int) {
+		if used[idx] || len(chains) >= cfg.Chains {
+			return
+		}
+		if pt, ok := t.eval(idx); ok {
+			used[idx] = true
+			chains = append(chains, chain{cur: pt, pred: t.predict(pt)})
+		}
+	}
+	for _, idx := range p.Seeds {
+		if idx >= 0 && idx < p.Size {
+			start(idx)
+		}
+	}
+	for tries := 0; len(chains) < cfg.Chains && tries < 40*cfg.Chains; tries++ {
+		start(r.intn(p.Size))
+	}
+	if len(chains) == 0 {
+		return Result{}, errNoFeasible
+	}
+
+	// Measure the starting states to seed the model, then anneal.
+	first := make([]int, 0, len(chains))
+	for _, c := range chains {
+		first = append(first, c.cur.Index)
+	}
+	t.measure(first)
+	t.report(false)
+
+	// Temperature is dimensionless: metropolis normalizes Δ by the current
+	// energy, so InitTemp≈0.5 means a 50% slowdown is accepted with
+	// probability 1/e at the start.
+	temp := cfg.InitTemp
+
+	stall := 0
+	for t.remaining() > 0 && stall < cfg.Patience {
+		for ci := range chains {
+			for s := 0; s < cfg.StepsPerRound; s++ {
+				digits := digitsOf(chains[ci].cur.Index, radices)
+				// Single-digit move: pick a digit with >1 choice, step it.
+				d := r.intn(len(radices))
+				for probe := 0; radices[d] <= 1 && probe < len(radices); probe++ {
+					d = (d + 1) % len(radices)
+				}
+				if radices[d] <= 1 {
+					continue
+				}
+				nd := r.intn(radices[d] - 1)
+				if nd >= digits[d] {
+					nd++ // uniform over the other choices
+				}
+				digits[d] = nd
+				idx := indexOf(digits, radices)
+				pt, ok := t.eval(idx)
+				if !ok {
+					continue
+				}
+				pred := t.predict(pt)
+				delta := pred - chains[ci].pred
+				if delta <= 0 || r.float64() < metropolis(delta, temp, chains[ci].pred) {
+					chains[ci] = chain{cur: pt, pred: pred}
+				}
+			}
+		}
+		batch := make([]int, 0, cfg.BatchSize)
+		for _, c := range chains {
+			if len(batch) < cfg.BatchSize {
+				batch = append(batch, c.cur.Index)
+			}
+		}
+		if t.measure(batch) {
+			stall = 0
+		} else {
+			stall++
+		}
+		converged := stall >= cfg.Patience
+		t.report(converged)
+		temp *= cfg.Cooling
+		// Re-predict chain states with the freshly fitted model, and pull
+		// stragglers back to the measured best so cold chains keep
+		// contributing near the optimum.
+		for ci := range chains {
+			chains[ci].pred = t.predict(chains[ci].cur)
+			if bestPt, ok := t.points[t.best.Index]; ok && chains[ci].pred > 4*t.best.Seconds {
+				chains[ci] = chain{cur: bestPt, pred: t.predict(bestPt)}
+			}
+		}
+	}
+	return t.result(stall >= cfg.Patience)
+}
+
+// metropolis is exp(−Δ/(T·E)) — the uphill-acceptance probability with the
+// current energy folded into the denominator, so acceptance behaves the
+// same for microsecond GEMMs and second-long convolutions.
+func metropolis(delta, temp, cur float64) float64 {
+	if temp <= 0 || cur <= 0 {
+		return 0
+	}
+	x := delta / (cur * temp)
+	if x > 30 {
+		return 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,118 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"swatop/internal/costmodel"
+	"swatop/internal/exec"
+	"swatop/internal/gemm"
+	"swatop/internal/schedule"
+)
+
+// TestAnalyticEstimateRankCorrelation guards the search's cold-start
+// ranking signal (and features 8-11 of the vector): on a sampled gemm
+// schedule space, the analytic cost-model estimate must rank candidates
+// close to their measured seconds — Spearman ρ ≥ 0.7. If this decays, the
+// searcher's first measurement batches turn random and sample efficiency
+// dies silently.
+func TestAnalyticEstimateRankCorrelation(t *testing.T) {
+	model, err := costmodel.FitGemmModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := gemm.NewOp(gemm.Params{M: 512, N: 512, K: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, err := schedule.Describe(op.Seed(), op.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := dims.Size()
+	if size < 40 {
+		t.Fatalf("gemm space too small to sample: %d", size)
+	}
+	// Deterministic stratified sample: every size/60-th point.
+	stride := size / 60
+	if stride < 1 {
+		stride = 1
+	}
+	var est, meas []float64
+	for idx := 0; idx < size && len(est) < 60; idx += stride {
+		st := dims.At(idx)
+		prog, cerr := op.Compile(st)
+		if cerr != nil {
+			continue // infeasible point
+		}
+		e, eerr := costmodel.EstimateProgram(model, prog)
+		if eerr != nil {
+			t.Fatalf("estimate %s: %v", st, eerr)
+		}
+		binds, berr := exec.BindVirtual(prog)
+		if berr != nil {
+			t.Fatalf("bind %s: %v", st, berr)
+		}
+		r, rerr := exec.Run(prog, binds, exec.Options{FastLoops: true})
+		if rerr != nil {
+			t.Fatalf("run %s: %v", st, rerr)
+		}
+		est = append(est, e.Total())
+		meas = append(meas, r.Seconds)
+	}
+	if len(est) < 20 {
+		t.Fatalf("only %d feasible samples", len(est))
+	}
+	rho := spearman(est, meas)
+	t.Logf("spearman(analytic, measured) = %.3f over %d samples", rho, len(est))
+	if rho < 0.7 {
+		t.Fatalf("rank correlation %.3f < 0.7 — the analytic estimate no longer ranks candidates", rho)
+	}
+}
+
+// spearman computes the Spearman rank correlation coefficient with
+// average-rank tie handling.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	n := float64(len(ra))
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	out := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j) / 2
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+// TestModelLearnsLinearTarget: the ridge regressor must recover a simple
+// monotone relationship well enough to rank candidates.
+func TestModelLearnsLinearTarget(t *testing.T) {
+	m := NewModel(3, 0)
+	r := newRNG(7)
+	gen := func() ([]float64, float64) {
+		f := []float64{r.float64() * 10, r.float64() * 2, r.float64()}
+		// log-linear target: seconds = exp(0.3·f0 − 0.5·f1 + 0.1)
+		return f, math.Exp(0.3*f[0] - 0.5*f[1] + 0.1)
+	}
+	for i := 0; i < 200; i++ {
+		f, y := gen()
+		m.Fit(f, y)
+	}
+	if m.Count() != 200 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if !m.Ready() {
+		t.Fatal("model not ready after 200 samples")
+	}
+	// Rank check on fresh pairs: the faster point must predict faster.
+	good, total := 0, 0
+	for i := 0; i < 100; i++ {
+		fa, ya := gen()
+		fb, yb := gen()
+		if math.Abs(ya-yb)/math.Max(ya, yb) < 0.05 {
+			continue // too close to call
+		}
+		total++
+		if (m.Predict(fa) < m.Predict(fb)) == (ya < yb) {
+			good++
+		}
+	}
+	if total == 0 || float64(good)/float64(total) < 0.9 {
+		t.Fatalf("rank accuracy %d/%d", good, total)
+	}
+	if m.MAE() <= 0 {
+		t.Fatalf("prequential MAE = %v, want > 0", m.MAE())
+	}
+}
+
+// TestModelDeterminism: identical Fit sequences yield identical predictions.
+func TestModelDeterminism(t *testing.T) {
+	build := func() *Model {
+		m := NewModel(4, 0)
+		r := newRNG(42)
+		for i := 0; i < 50; i++ {
+			f := []float64{r.float64(), r.float64(), r.float64(), r.float64()}
+			m.Fit(f, 1+r.float64())
+		}
+		return m
+	}
+	a, b := build(), build()
+	probe := []float64{0.3, 0.7, 0.1, 0.9}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatalf("nondeterministic: %v vs %v", a.Predict(probe), b.Predict(probe))
+	}
+	if a.MAE() != b.MAE() {
+		t.Fatalf("nondeterministic MAE: %v vs %v", a.MAE(), b.MAE())
+	}
+}
+
+// TestModelRejectsGarbage: non-finite targets and wrong-length vectors are
+// ignored, and predictions stay finite regardless.
+func TestModelRejectsGarbage(t *testing.T) {
+	m := NewModel(2, 0)
+	m.Fit([]float64{1, 2}, math.NaN())
+	m.Fit([]float64{1, 2}, math.Inf(1))
+	m.Fit([]float64{1, 2}, -1)
+	m.Fit([]float64{1}, 5)
+	if m.Count() != 0 {
+		t.Fatalf("garbage fitted: Count = %d", m.Count())
+	}
+	for i := 0; i < 20; i++ {
+		m.Fit([]float64{float64(i), float64(i % 3)}, float64(1+i))
+	}
+	p := m.Predict([]float64{1e9, -1e9})
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("prediction not finite: %v", p)
+	}
+}
+
+// TestBudgetFor pins the fraction→count clamping.
+func TestBudgetFor(t *testing.T) {
+	cases := []struct {
+		frac float64
+		size int
+		want int
+	}{
+		{0.10, 1000, 100},
+		{0.10, 50, 12},  // floor
+		{0.10, 10, 10},  // floor capped at size
+		{1.5, 100, 100}, // cap at size
+		{0.10, 129, 12}, // truncates: never exceeds the fraction
+		{0.10, 0, 0},
+	}
+	for _, c := range cases {
+		if got := BudgetFor(c.frac, c.size); got != c.want {
+			t.Errorf("BudgetFor(%v, %d) = %d, want %d", c.frac, c.size, got, c.want)
+		}
+	}
+}

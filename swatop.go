@@ -30,6 +30,7 @@ import (
 	"swatop/internal/gemm"
 	"swatop/internal/ir"
 	"swatop/internal/obsrv"
+	"swatop/internal/search"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 	"swatop/internal/trace"
@@ -106,19 +107,52 @@ const (
 	Winograd = "winograd"
 )
 
+// Searcher is a sample-efficient search strategy: instead of estimating
+// every schedule in the space, it proposes candidates, predicts them with
+// an online-learned cost model and measures only the most promising. Build
+// one with NewEvoSearcher/NewAnnealSearcher (or SearcherByName) and attach
+// it with Tuner.SetSearcher.
+type Searcher = search.Searcher
+
+// NewEvoSearcher returns the evolutionary searcher (mutation + crossover
+// over the schedule space's stable indices, learned-model ranking,
+// ε-greedy measurement batches) with default parameters.
+func NewEvoSearcher() Searcher { return &search.Evolutionary{} }
+
+// NewAnnealSearcher returns the simulated-annealing searcher (parallel
+// Metropolis chains over predicted seconds) with default parameters.
+func NewAnnealSearcher() Searcher { return &search.Annealing{} }
+
+// SearcherByName maps the CLI names to searchers: "evo", "anneal", or ""
+// (nil — the exhaustive walk). Unknown names are an error.
+func SearcherByName(name string) (Searcher, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "evo":
+		return NewEvoSearcher(), nil
+	case "anneal":
+		return NewAnnealSearcher(), nil
+	}
+	return nil, fmt.Errorf("swatop: unknown searcher %q (want evo, anneal or empty)", name)
+}
+
 // Tuner is swATOP's performance-model-based autotuner with its fitted
 // Eq. (2) cost model (calibrated once against the simulated machine).
 type Tuner struct {
-	model       *costmodel.GemmModel
-	lib         *Library
-	workers     int
-	progress    func(done, valid int, best float64)
-	fallback    FallbackPolicy
-	faults      *faults.Injector
-	retry       autotune.Retry
-	maxFailures int
-	metrics     *MetricsRegistry
-	observer    *Observer
+	model        *costmodel.GemmModel
+	lib          *Library
+	workers      int
+	progress     func(done, valid int, best float64)
+	fallback     FallbackPolicy
+	faults       *faults.Injector
+	retry        autotune.Retry
+	maxFailures  int
+	metrics      *MetricsRegistry
+	observer     *Observer
+	searcher     Searcher
+	searchBudget float64
+	searchSeed   uint64
 }
 
 // UseLibrary attaches a schedule cache: tuning consults it first and
@@ -208,6 +242,23 @@ func (t *Tuner) SetRetry(attempts int, base, max time.Duration) {
 // a systematically broken environment. 0 (the default) means unlimited.
 func (t *Tuner) SetMaxCandidateFailures(n int) { t.maxFailures = n }
 
+// SetSearcher switches tuning from the exhaustive estimate-everything walk
+// to sample-efficient search (nil switches back — the default, which stays
+// bit-identical to the classic walk). With a searcher attached, tuning
+// measures at most the budget fraction of each space (SetSearchBudget) and,
+// when a Library is attached, seeds the search from the nearest
+// already-tuned shapes of the same operator family.
+func (t *Tuner) SetSearcher(s Searcher) { t.searcher = s }
+
+// SetSearchBudget caps the fraction of the candidate space a searcher may
+// measure (0 restores the 0.10 default). No effect without a searcher.
+func (t *Tuner) SetSearchBudget(frac float64) { t.searchBudget = frac }
+
+// SetSearchSeed pins the searcher's RNG seed. 0 (the default) derives a
+// stable per-operator seed, so repeated runs already reproduce; set an
+// explicit seed to decorrelate or correlate runs on purpose.
+func (t *Tuner) SetSearchSeed(seed uint64) { t.searchSeed = seed }
+
 // NewTuner fits the cost model (the per-machine offline calibration).
 func NewTuner() (*Tuner, error) {
 	m, err := costmodel.FitGemmModel()
@@ -220,13 +271,15 @@ func NewTuner() (*Tuner, error) {
 // Tuned is a tuned operator: the selected schedule, its compiled program,
 // and its measured (simulated) performance.
 type Tuned struct {
-	program   *ir.Program
-	strategy  string
-	seconds   float64
-	spaceSize int
-	flops     int64
-	degraded  bool
-	failed    int
+	program     *ir.Program
+	strategy    string
+	seconds     float64
+	spaceSize   int
+	spacePoints int
+	measured    int
+	flops       int64
+	degraded    bool
+	failed      int
 }
 
 // TuneGemm searches the GEMM schedule space for a problem size.
@@ -308,6 +361,10 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64,
 		MaxCandidateFailures: t.maxFailures,
 		Metrics:              t.metrics,
 		Observer:             t.observer,
+		Searcher:             t.searcher,
+		SearchBudget:         t.searchBudget,
+		SearchSeed:           t.searchSeed,
+		Transfer:             t.lib,
 	})
 	if err != nil {
 		if t.fallback == FallbackBaseline && !errors.Is(err, context.Canceled) {
@@ -322,12 +379,14 @@ func (t *Tuner) tune(ctx context.Context, op autotune.Operator, flops int64,
 		t.lib.Put(cache.FromStrategy(op.Name(), res.Best.Strategy, res.Best.Measured, res.Valid))
 	}
 	return &Tuned{
-		program:   res.Best.Program,
-		strategy:  res.Best.Strategy.String(),
-		seconds:   res.Best.Measured,
-		spaceSize: res.Valid,
-		flops:     flops,
-		failed:    res.FailedCandidates,
+		program:     res.Best.Program,
+		strategy:    res.Best.Strategy.String(),
+		seconds:     res.Best.Measured,
+		spaceSize:   res.Valid,
+		spacePoints: res.SpaceSize,
+		measured:    res.Measured,
+		flops:       flops,
+		failed:      res.FailedCandidates,
 	}, nil
 }
 
@@ -370,6 +429,16 @@ func (t *Tuned) Strategy() string { return t.strategy }
 
 // SpaceSize is the number of valid schedules that were considered.
 func (t *Tuned) SpaceSize() int { return t.spaceSize }
+
+// SpacePoints is the number of raw points in the schedule space — the
+// coverage denominator for budgeted searches. 0 for cache hits (the space
+// was never re-enumerated).
+func (t *Tuned) SpacePoints() int { return t.spacePoints }
+
+// MeasuredCandidates is how many candidates were actually run on the
+// simulated machine. 0 when tuning used the exhaustive walk (which
+// estimates everything but measures only the finalists) or hit the cache.
+func (t *Tuned) MeasuredCandidates() int { return t.measured }
 
 // Degraded reports whether this result is the baseline fallback served in
 // place of a failed or deadline-expired tuning run (FallbackBaseline).
