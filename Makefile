@@ -7,7 +7,7 @@ GO ?= go
 COVER_BASELINE ?= 69.0
 
 .PHONY: all build vet unreachable fmt test race fuzz shuffle cover chaos ci \
-	search-check bench bench-snapshot bench-check
+	search-check trace-check bench bench-snapshot bench-check
 
 all: build
 
@@ -73,8 +73,16 @@ cover:
 search-check:
 	$(GO) run ./cmd/swbench -search-check
 
+# Tracing acceptance: the 2000-request load run with tracing and SLO
+# guardrails attached (phase sums match latency, /tracez serves complete
+# span trees, a forced breach captures flight dump + CPU profile), plus
+# the invariant that tracing leaves simulated machine seconds
+# bit-identical to a tracing-disabled server.
+trace-check:
+	$(GO) test -run 'TestTraceMachineSecondsInvariant|TestTraceAcceptanceLoad' -count=1 -v ./internal/serve/...
+
 # The tier-1 loop: what every change must keep green.
-ci: build vet unreachable fmt test race fuzz shuffle cover chaos search-check
+ci: build vet unreachable fmt test race fuzz shuffle cover chaos search-check trace-check
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

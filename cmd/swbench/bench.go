@@ -251,5 +251,11 @@ func collectServeWorkload(sess *cliobs.Session, workers int) (*bench.Workload, e
 		// host-dependent, never gated).
 		InferencesPerSec: rep.ThroughputRPS,
 		P99Ms:            rep.P99Ms,
+		Phases: &bench.PhaseAttribution{
+			QueueP99Ms: rep.Phases.Queue.P99Ms,
+			BatchP99Ms: rep.Phases.Batch.P99Ms,
+			ExecP99Ms:  rep.Phases.Exec.P99Ms,
+			CommP99Ms:  rep.Phases.Comm.P99Ms,
+		},
 	}, nil
 }

@@ -12,17 +12,22 @@
 //	        [-max-batch 8] [-batch-window 2ms] [-queue N] [-buckets 1,2,4,8]
 //	        [-deadline D] [-groups N] [-pipeline] [-workers N]
 //	        [-lib schedules.json] [-warm] [-breaker-threshold 3] [-breaker-cooldown 8]
+//	        [-trace] [-trace-sample 0.1] [-trace-slow 100]
+//	        [-slo-p99 MS] [-slo-availability 0.999] [-slo-profile-dir DIR]
 //	        [-metrics -|file] [-listen addr] [-flight-out f.json]
 //
 // Endpoints (on -addr):
 //
-//	POST /infer    {"id": "...", "deadline_ms": 50}  → per-request report
-//	GET  /serverz  queue / breaker / shed / degraded counters
+//	POST /infer    {"id": "...", "deadline_ms": 50}  → per-request report;
+//	               send a W3C traceparent header to join the caller's trace
+//	GET  /serverz  queue / breaker / shed / degraded / SLO counters
+//	GET  /tracez   tail-sampled request traces (with -trace);
+//	               /tracez/<id> one trace, ?format=chrome for Perfetto
 //	GET  /healthz, /metrics, /statusz, /events, /flightz, /debug/pprof/
 //
 // Example:
 //
-//	swserve -net vgg16 -max-batch 8 -lib vgg16.json &
+//	swserve -net vgg16 -max-batch 8 -lib vgg16.json -trace &
 //	curl -s -X POST localhost:8100/infer -d '{"id":"r1","deadline_ms":5000}'
 //
 // On SIGTERM/SIGINT the daemon stops admitting (new requests get 503),
@@ -47,6 +52,7 @@ import (
 	"swatop/internal/cliobs"
 	"swatop/internal/graph"
 	"swatop/internal/metrics"
+	"swatop/internal/reqtrace"
 	"swatop/internal/serve"
 )
 
@@ -72,6 +78,18 @@ func main() {
 		"degraded batches served before a tuned probe batch")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long a SIGTERM drain waits for in-flight work before giving up")
+	traceOn := flag.Bool("trace", false,
+		"record tail-sampled request traces, served on /tracez")
+	traceSample := flag.Float64("trace-sample", 0.1,
+		"with -trace: fraction of unremarkable requests kept (slow/shed/expired/degraded always kept)")
+	traceSlow := flag.Float64("trace-slow", 100,
+		"with -trace: latency ms at which a request always counts as slow and is kept")
+	sloP99 := flag.Float64("slo-p99", 0,
+		"latency SLO: at most 1%% of responses may exceed this many ms (0 = no latency SLO)")
+	sloAvail := flag.Float64("slo-availability", 0,
+		"availability SLO, e.g. 0.999 (0 = no availability SLO)")
+	sloProfileDir := flag.String("slo-profile-dir", "",
+		"where SLO-breach CPU profiles are written (empty = skip profiles)")
 	obsFlags := cliobs.Register(flag.CommandLine,
 		"(swserve exports no trace timeline; use /events and /flightz instead)")
 	flag.Parse()
@@ -103,6 +121,22 @@ func main() {
 		}
 	}
 
+	var store *reqtrace.Store
+	if *traceOn {
+		store = reqtrace.NewStore(reqtrace.StoreOptions{
+			SampleRate: *traceSample,
+			SlowMs:     *traceSlow,
+		})
+	}
+	var slo *serve.SLO
+	if *sloP99 > 0 || *sloAvail > 0 {
+		slo = &serve.SLO{
+			P99TargetMs:  *sloP99,
+			Availability: *sloAvail,
+			ProfileDir:   *sloProfileDir,
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
 		Net:              *netName,
 		Builder:          func(b int) (*graph.Graph, error) { return graph.ByName(*netName, b) },
@@ -119,6 +153,8 @@ func main() {
 		Library:          lib,
 		Metrics:          reg,
 		Observer:         sess.Observer,
+		Trace:            store,
+		SLO:              slo,
 	})
 	if err != nil {
 		fail(err)

@@ -64,6 +64,19 @@ type Workload struct {
 	// CoveragePct is 100*Candidates/SpacePoints, recorded for budgeted
 	// search rows. Informational: machine seconds carry the gate.
 	CoveragePct float64 `json:"coverage_pct,omitempty"`
+	// Phases attributes the serving row's p99 latency across the request
+	// lifecycle (queue wait, batch formation, execution, inter-group
+	// communication), in wall milliseconds from the canonical load-test.
+	// Informational like P99Ms — host-dependent, never gated.
+	Phases *PhaseAttribution `json:"phases,omitempty"`
+}
+
+// PhaseAttribution is the per-phase p99 breakdown of a serving workload.
+type PhaseAttribution struct {
+	QueueP99Ms float64 `json:"queue_p99_ms"`
+	BatchP99Ms float64 `json:"batch_p99_ms"`
+	ExecP99Ms  float64 `json:"exec_p99_ms"`
+	CommP99Ms  float64 `json:"comm_p99_ms"`
 }
 
 // Snapshot is the full document written by -bench-out.

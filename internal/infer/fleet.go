@@ -3,11 +3,14 @@ package infer
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"swatop/internal/cluster"
 	"swatop/internal/gemm"
 	"swatop/internal/graph"
+	"swatop/internal/reqtrace"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
 	"swatop/internal/trace"
@@ -213,11 +216,17 @@ func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Optio
 		}
 		res := &Result{Net: sp.g.Name, Batch: shards[i], FLOPs: sp.g.FLOPs(), Plan: sp.plan}
 		timeline := &trace.Log{}
+		execT0 := time.Now()
 		if err := e.execNodes(ctx, sp.g, sp.g.Topo(), sp.resolved, ts, res, timeline, env); err != nil {
 			errs[i] = err
 			return
 		}
 		res.Seconds = env.m.Elapsed()
+		if opts.Spans != nil {
+			opts.Spans.AddGroup(reqtrace.PhaseExec, fmt.Sprintf("exec shard b%d", shards[i]), i,
+				execT0, time.Since(execT0),
+				map[string]string{"machine_ms": reqtrace.MsArg(res.Seconds * 1e3)})
+		}
 		res.Timeline = timeline
 		if opts.Functional {
 			res.Output = ts[sp.g.Output]
@@ -266,7 +275,14 @@ func (e *Engine) runDataParallel(ctx context.Context, g *graph.Graph, opts Optio
 	outBytes := int64(elemCount(mustDims(g, g.Output))) * 4
 	// Only groups that ran contribute shard outputs to the gather.
 	res.CommSeconds = cluster.GatherSeconds(outBytes, active)
-	timeline.AddGroup(0, trace.KindComm, "gather outputs", maxSecs, res.CommSeconds)
+	gatherSrcs := make([]string, 0, active)
+	for i, gr := range groups {
+		if gr != nil {
+			gatherSrcs = append(gatherSrcs, fmt.Sprintf("group%d", i))
+		}
+	}
+	timeline.AddGroupArgs(0, trace.KindComm, "gather outputs", maxSecs, res.CommSeconds,
+		map[string]string{"src": strings.Join(gatherSrcs, ","), "dst": "group0"})
 	res.Seconds = maxSecs + res.CommSeconds
 	res.Counters = agg
 	res.Timeline = timeline
@@ -430,13 +446,17 @@ func gatherRows(dst, src *tensor.Tensor, off, w, b int) {
 }
 
 // addCommEvents stamps one cross-group collective on every group's
-// timeline row.
-func addCommEvents(l *trace.Log, G int, name string, start, dur float64) {
+// timeline row, each event labeled with its own group as the source and
+// the collective's destination ("all groups" for an all-gather, a specific
+// group for a gather) so overlapping collectives stay distinguishable in
+// the Gantt legend.
+func addCommEvents(l *trace.Log, G int, name, dst string, start, dur float64) {
 	if dur <= 0 {
 		return
 	}
 	for i := 0; i < G; i++ {
-		l.AddGroup(i, trace.KindComm, name, start, dur)
+		l.AddGroupArgs(i, trace.KindComm, name, start, dur,
+			map[string]string{"src": fmt.Sprintf("group%d", i), "dst": dst})
 	}
 }
 
@@ -558,9 +578,15 @@ func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
 		}
 		r := &Result{}
 		log := &trace.Log{}
+		execT0 := time.Now()
 		if err := e.execNodes(ctx, sp.g, sp.g.Topo()[:tailStart], sp.resolved, ts, r, log, envs[i]); err != nil {
 			errs[i] = err
 			return
+		}
+		if opts.Spans != nil {
+			opts.Spans.AddGroup(reqtrace.PhaseExec, fmt.Sprintf("exec conv head b%d", shards[i]), i,
+				execT0, time.Since(execT0),
+				map[string]string{"machine_ms": reqtrace.MsArg(envs[i].m.Elapsed() * 1e3)})
 		}
 		r.Timeline = log
 		headRes[i] = r
@@ -605,7 +631,7 @@ func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
 	var comm float64
 	if tailStart > 0 {
 		step := cluster.AllGatherSeconds(int64(elemCount(mustDims(g, headOut)))*4, G)
-		addCommEvents(timeline, G, "allgather "+headOut, clock, step)
+		addCommEvents(timeline, G, "allgather "+headOut, "all groups", clock, step)
 		clock += step
 		comm += step
 	}
@@ -645,12 +671,17 @@ func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
 			t0 := envs[i].m.Now()
 			r := &Result{}
 			log := &trace.Log{}
+			execT0 := time.Now()
 			if err := e.execNodes(ctx, mp.g, mp.g.Topo(), mp.resolved, ts, r, log, envs[i]); err != nil {
 				errs[i] = err
 				return
 			}
 			t0s[i] = t0
 			durs[i] = envs[i].m.Now() - t0
+			if opts.Spans != nil {
+				opts.Spans.AddGroup(reqtrace.PhaseExec, "exec fc "+n.Name, i, execT0, time.Since(execT0),
+					map[string]string{"machine_ms": reqtrace.MsArg(durs[i] * 1e3)})
+			}
 			logs[i] = log
 			rs[i] = r
 			if opts.Functional {
@@ -687,15 +718,17 @@ func (e *Engine) runHybridDP(ctx context.Context, g *graph.Graph, opts Options,
 		if n.Kind == graph.Gemm {
 			bytes := int64(elemCount(mustDims(g, n.Out))) * 4
 			var step float64
-			var what string
+			var what, dst string
 			if ti == len(tails)-1 {
 				step = cluster.GatherSeconds(bytes, G)
 				what = "gather " + n.Name
+				dst = "group0"
 			} else {
 				step = cluster.AllGatherSeconds(bytes, G)
 				what = "allgather " + n.Name
+				dst = "all groups"
 			}
-			addCommEvents(timeline, G, what, clock, step)
+			addCommEvents(timeline, G, what, dst, clock, step)
 			clock += step
 			comm += step
 		}
@@ -814,6 +847,7 @@ func (e *Engine) runPipeline(ctx context.Context, g *graph.Graph, opts Options) 
 		d[s] = make([]float64, M)
 		segStart[s] = make([]float64, M)
 		segLogs[s] = make([]*trace.Log, M)
+		execT0 := time.Now()
 		for mi := 0; mi < M; mi++ {
 			t0 := env.m.Now()
 			log := &trace.Log{}
@@ -828,6 +862,11 @@ func (e *Engine) runPipeline(ctx context.Context, g *graph.Graph, opts Options) 
 			if mi == 0 {
 				stageLayers[s] = r.Layers
 			}
+		}
+		if opts.Spans != nil {
+			opts.Spans.AddGroup(reqtrace.PhaseExec,
+				fmt.Sprintf("exec stage %d x%d", s, M), s, execT0, time.Since(execT0),
+				map[string]string{"machine_ms": reqtrace.MsArg(env.m.Elapsed() * 1e3)})
 		}
 	}
 	runGroups(G, opts.serialFleet, run)
@@ -860,8 +899,12 @@ func (e *Engine) runPipeline(ctx context.Context, g *graph.Graph, opts Options) 
 		for mi := 0; mi < M; mi++ {
 			timeline.MergeGroup(s, sched.Start[s][mi]-segStart[s][mi], segLogs[s][mi])
 			if s < G-1 && xfer[s] > 0 {
-				timeline.AddGroup(s, trace.KindComm,
-					fmt.Sprintf("stage %d->%d", s, s+1), sched.Finish[s][mi], xfer[s])
+				timeline.AddGroupArgs(s, trace.KindComm,
+					fmt.Sprintf("stage %d->%d", s, s+1), sched.Finish[s][mi], xfer[s],
+					map[string]string{
+						"src": fmt.Sprintf("group%d", s),
+						"dst": fmt.Sprintf("group%d", s+1),
+					})
 			}
 		}
 		agg.Accumulate(fleet.Machine(s).Counters)

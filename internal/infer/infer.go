@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"time"
 
 	"swatop/internal/autotune"
 	"swatop/internal/baseline"
@@ -26,6 +27,7 @@ import (
 	"swatop/internal/ir"
 	"swatop/internal/metrics"
 	"swatop/internal/obsrv"
+	"swatop/internal/reqtrace"
 	"swatop/internal/search"
 	"swatop/internal/sw26010"
 	"swatop/internal/tensor"
@@ -120,6 +122,15 @@ type Options struct {
 	// library. Purely observational: resolved schedules and every metric
 	// are identical with and without an observer attached.
 	Observer *obsrv.Observer
+	// Spans, when non-nil, collects request-scoped tracing spans for the
+	// serving path: one resolve span per operator node (wall time around
+	// schedule resolution, with cached/degraded/method args) and one exec
+	// span per core group (wall time around execution, with the group's
+	// simulated machine milliseconds as an arg). Like Observer it is
+	// purely observational — nil-inert, recorded off the simulated clock,
+	// and never an input to schedule selection, so machine seconds are
+	// bit-identical with and without it.
+	Spans *reqtrace.Spans
 
 	// Groups scales the run out across a fleet of simulated core groups
 	// (1..sw26010.NumCG — one SW26010 node). 0 or 1 keeps today's
@@ -355,11 +366,16 @@ func (e *Engine) Run(ctx context.Context, g *graph.Graph, opts Options) (*Result
 		skipBaseline: opts.SkipBaseline,
 		baseMemo:     map[string]float64{},
 	}
+	execT0 := time.Now()
 	if err := e.execNodes(ctx, g, g.Topo(), resolved, ts, res, timeline, env); err != nil {
 		return nil, err
 	}
 
 	res.Seconds = m.Elapsed()
+	if opts.Spans != nil {
+		opts.Spans.AddGroup(reqtrace.PhaseExec, "exec "+g.Name, 0, execT0, time.Since(execT0),
+			map[string]string{"machine_ms": reqtrace.MsArg(res.Seconds * 1e3)})
+	}
 	res.Counters = m.Counters
 	res.Timeline = timeline
 	if !opts.SkipBaseline && res.Seconds > 0 {
@@ -581,6 +597,7 @@ func (e *Engine) resolveNodes(ctx context.Context, g *graph.Graph, nodes []*grap
 			key = "gemm:" + n.Gemm.String()
 		}
 		opts.job.SetDetail("resolving " + n.Name)
+		resolveT0 := time.Now()
 		r, ok := memo[key]
 		if !ok {
 			var err error
@@ -595,6 +612,15 @@ func (e *Engine) resolveNodes(ctx context.Context, g *graph.Graph, nodes []*grap
 			memo[key] = r
 		}
 		out[n.Name] = r
+		if opts.Spans != nil {
+			opts.Spans.Add(reqtrace.PhaseResolve, "resolve "+n.Name, resolveT0, time.Since(resolveT0),
+				map[string]string{
+					"cached":   strconv.FormatBool(r.cached),
+					"degraded": strconv.FormatBool(r.degraded),
+					"memoized": strconv.FormatBool(ok),
+					"strategy": r.strategy,
+				})
+		}
 		done++
 		if r.degraded {
 			degraded++

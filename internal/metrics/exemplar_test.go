@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHistogramExemplars: exemplars attach to the bucket the observation
+// landed in, surface in the JSON snapshot, and never leak into the
+// Prometheus 0.0.4 text exposition.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", 1, 10, 100)
+
+	h.Observe(0.5)
+	if ex := h.Exemplars(); ex != nil {
+		t.Fatalf("exemplars before any were recorded: %v", ex)
+	}
+
+	h.ObserveExemplar(5, "trace-a")   // bucket (1,10]
+	h.ObserveExemplar(50, "trace-b")  // bucket (10,100]
+	h.ObserveExemplar(500, "trace-c") // overflow
+	h.ObserveExemplar(60, "trace-d")  // last writer wins in (10,100]
+
+	want := []string{"", "trace-a", "trace-d", "trace-c"}
+	got := h.Exemplars()
+	if len(got) != len(want) {
+		t.Fatalf("Exemplars() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Exemplars()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+
+	snap := r.Snapshot()
+	hs, ok := snap.Histograms["lat_ms"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if len(hs.Exemplars) != len(want) || hs.Exemplars[1] != "trace-a" {
+		t.Fatalf("snapshot exemplars = %v, want %v", hs.Exemplars, want)
+	}
+
+	var text bytes.Buffer
+	if err := snap.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), "trace-a") {
+		t.Fatal("exemplar leaked into Prometheus 0.0.4 text exposition")
+	}
+
+	// Nil histogram stays inert for the new entry points too.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x")
+	if nilH.Exemplars() != nil {
+		t.Fatal("nil histogram returned exemplars")
+	}
+}

@@ -17,6 +17,10 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []int64   `json:"counts,omitempty"`
+	// Exemplars carries the per-bucket exemplar trace IDs ("" where none),
+	// aligned with Counts. Omitted when the histogram never saw one. JSON
+	// only — the Prometheus text writer stays plain 0.0.4 format.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry, ready for JSON encoding
@@ -85,6 +89,7 @@ func (r *Registry) Snapshot() Snapshot {
 			for i := range h.counts {
 				hs.Counts[i] = h.counts[i].Load()
 			}
+			hs.Exemplars = h.Exemplars()
 			s.Histograms[name] = hs
 		}
 	}
@@ -170,7 +175,31 @@ var defaultHelp = map[string]string{
 	"infer_machine_seconds":            "Simulated machine seconds of the whole network run.",
 	"infer_arena_peak_bytes":           "Peak bytes of the activation buffer-reuse arena.",
 	"infer_dma_hidden_ratio":           "Fraction of DMA time hidden behind compute.",
+	"infer_comm_seconds":               "Modeled cross-group communication seconds of fleet runs.",
 	"swbench_experiments_total":        "Paper experiments regenerated this session.",
+	"serve_queue_capacity":             "Bound of the admission queue.",
+	"serve_queue_depth":                "Admission-queue depth at the last sample.",
+	"serve_queue_depth_max":            "High-water mark of the admission-queue depth.",
+	"serve_admitted_total":             "Requests admitted into the queue.",
+	"serve_shed_total":                 "Requests shed with 429 because the queue was full.",
+	"serve_drain_rejected_total":       "Requests rejected because the server was draining.",
+	"serve_canceled_total":             "Admitted requests whose client went away before a result.",
+	"serve_deadline_expired_total":     "Requests answered 408 after their deadline passed.",
+	"serve_responses_total":            "Successful responses delivered.",
+	"serve_degraded_total":             "Responses served by baseline-fallback schedules.",
+	"serve_batches_total":              "Coalesced batches executed.",
+	"serve_batches_degraded_total":     "Batches that ran in degraded mode.",
+	"serve_batch_failures_total":       "Batches that failed outright (members saw errors).",
+	"serve_batch_pad_total":            "Padding inferences executed to round batches up to buckets.",
+	"serve_batch_size":                 "Live requests per executed batch.",
+	"serve_machine_seconds":            "Cumulative simulated machine seconds of served batches.",
+	"serve_run_ms":                     "Wall milliseconds per batch engine run.",
+	"serve_latency_ms":                 "End-to-end wall latency per response, milliseconds.",
+	"serve_breaker_state":              "Circuit breaker state (0 closed, 0.5 half-open, 1 open).",
+	"serve_breaker_trips":              "Times the circuit breaker tripped open.",
+	"serve_slo_burn_rate":              "Error-budget burn rate at the last SLO check (1.0 = on target).",
+	"serve_slo_breaches_total":         "SLO burn-rate breach episodes detected.",
+	"serve_slo_profiles_total":         "CPU profiles captured by SLO breach auto-dump.",
 }
 
 // helpPrefixes describes dynamically named metric families.
@@ -196,7 +225,28 @@ func (s Snapshot) helpFor(name, kind string) string {
 			return p.text
 		}
 	}
+	// Per-core-group scoped metrics ("group3_machine_gemm_ops") describe
+	// the same families as their unscoped names.
+	if rest, ok := stripGroupPrefix(name); ok {
+		return "Per-core-group: " + s.helpFor(rest, kind)
+	}
 	return "swATOP " + kind + "."
+}
+
+// stripGroupPrefix removes a leading "group<N>_" scope from a metric name.
+func stripGroupPrefix(name string) (string, bool) {
+	if !strings.HasPrefix(name, "group") {
+		return "", false
+	}
+	rest := name[len("group"):]
+	i := 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		i++
+	}
+	if i == 0 || i >= len(rest) || rest[i] != '_' {
+		return "", false
+	}
+	return rest[i+1:], true
 }
 
 // escapeHelp escapes help text per the exposition format: backslash and

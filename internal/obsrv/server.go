@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,9 +36,17 @@ type Server struct {
 	component string
 	start     time.Time
 
-	mu   sync.Mutex
-	ln   net.Listener
-	http *http.Server
+	mu     sync.Mutex
+	ln     net.Listener
+	http   *http.Server
+	mounts []mount
+}
+
+// mount is an extra handler grafted onto the server's mux by Mount.
+type mount struct {
+	pattern string
+	handler http.Handler
+	help    string
 }
 
 // NewServer builds an introspection server over an observer and a metrics
@@ -45,6 +54,22 @@ type Server struct {
 // component names the process in /statusz ("swatop", "swinfer", ...).
 func NewServer(component string, obs *Observer, reg *metrics.Registry) *Server {
 	return &Server{obs: obs, reg: reg, component: component, start: time.Now()}
+}
+
+// Mount grafts an extra handler onto the introspection surface at pattern
+// (e.g. "/tracez" — subtree requests like "/tracez/<id>" are routed too,
+// per net/http mux semantics for the registered pattern). help, when given,
+// is the one-line description shown on the index page. Must be called
+// before Handler/Start; mounted handlers should stay read-only to preserve
+// the no-result-changes invariant.
+func (s *Server) Mount(pattern string, h http.Handler, help ...string) {
+	m := mount{pattern: pattern, handler: h}
+	if len(help) > 0 {
+		m.help = help[0]
+	}
+	s.mu.Lock()
+	s.mounts = append(s.mounts, m)
+	s.mu.Unlock()
 }
 
 // Handler returns the server's routing handler — exported so tests can
@@ -63,6 +88,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mu.Lock()
+	mounts := append([]mount(nil), s.mounts...)
+	s.mu.Unlock()
+	for _, m := range mounts {
+		mux.Handle(m.pattern, m.handler)
+		if m.pattern != "/" && m.pattern[len(m.pattern)-1] != '/' {
+			// Route the subtree too, so "/tracez" also answers "/tracez/<id>".
+			mux.Handle(m.pattern+"/", m.handler)
+		}
+	}
 	return mux
 }
 
@@ -113,6 +148,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/debug/pprof/  Go profiling",
 	} {
 		fmt.Fprintln(w, ep)
+	}
+	s.mu.Lock()
+	mounts := append([]mount(nil), s.mounts...)
+	s.mu.Unlock()
+	for _, m := range mounts {
+		help := m.help
+		if help == "" {
+			help = "mounted handler"
+		}
+		fmt.Fprintf(w, "%-14s %s\n", m.pattern, help)
 	}
 }
 
@@ -202,11 +247,25 @@ func (s *Server) handleFlightz(w http.ResponseWriter, _ *http.Request) {
 // Each event becomes one frame (id/event/data); a comment heartbeat every
 // 15 s keeps idle connections alive through proxies. The stream ends when
 // the client disconnects or the server closes.
+//
+// Reconnects resume seamlessly: the frames carry the observer sequence
+// number as the SSE id, so a browser EventSource (or any spec-compliant
+// client) sends Last-Event-ID on reconnect. Events still retained in the
+// flight ring with a higher sequence are replayed first, and the live
+// stream is filtered against the highest sequence already written — a
+// reconnecting client sees each sequence number at most once, in order.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
+	}
+	var lastID uint64
+	replay := false
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			lastID, replay = n, true
+		}
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -215,12 +274,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, ": %s event stream\n\n", s.component)
 	fl.Flush()
 
+	// Subscribe before snapshotting the ring so no event falls in the gap:
+	// anything appended after the snapshot is already in the channel, and
+	// maxSeq filtering drops the overlap.
 	events, cancel := s.obs.Subscribe(512)
 	defer cancel()
+
+	var buf []byte
+	maxSeq := lastID
+	if replay {
+		for _, e := range s.obs.Flight().Snapshot() {
+			if e.Seq <= lastID {
+				continue
+			}
+			buf = e.AppendSSE(buf[:0])
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if e.Seq > maxSeq {
+				maxSeq = e.Seq
+			}
+		}
+		fl.Flush()
+	}
+
 	heartbeat := time.NewTicker(15 * time.Second)
 	defer heartbeat.Stop()
 
-	var buf []byte
 	for {
 		select {
 		case <-r.Context().Done():
@@ -233,6 +313,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case e, open := <-events:
 			if !open {
 				return // nil observer (closed stub channel) or canceled
+			}
+			if replay && e.Seq <= maxSeq {
+				continue // already replayed from the flight ring
 			}
 			buf = e.AppendSSE(buf[:0])
 			if _, err := w.Write(buf); err != nil {

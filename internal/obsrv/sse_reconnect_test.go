@@ -1,0 +1,119 @@
+package obsrv
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEventsSSEReconnect: a client reconnecting with Last-Event-ID must
+// see every retained event after that id exactly once, in sequence order —
+// the flight-ring replay and the live stream may not duplicate or reorder.
+func TestEventsSSEReconnect(t *testing.T) {
+	obs := New()
+	srv := NewServer("test", obs, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 1; i <= 5; i++ {
+		obs.Emit(LevelInfo, fmt.Sprintf("seed.%d", i))
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	var ids []uint64
+	collect := func(n int) {
+		t.Helper()
+		for len(ids) < n && sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "id: ") {
+				continue
+			}
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			ids = append(ids, v)
+		}
+		if len(ids) < n {
+			t.Fatalf("stream ended after %d ids (want %d): %v", len(ids), n, sc.Err())
+		}
+	}
+
+	// Replay: the retained events with Seq > 2.
+	collect(3)
+	// Live: emitted after the replay was fully read, so they must arrive
+	// through the subscription without re-including replayed sequences.
+	obs.Emit(LevelInfo, "live.1")
+	obs.Emit(LevelInfo, "live.2")
+	collect(5)
+
+	seen := map[uint64]bool{}
+	prev := uint64(2)
+	for _, id := range ids {
+		if id <= 2 {
+			t.Errorf("stream re-sent id %d at or below Last-Event-ID 2", id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate id %d in stream %v", id, ids)
+		}
+		seen[id] = true
+		if id <= prev {
+			t.Errorf("out-of-order id %d after %d in %v", id, prev, ids)
+		}
+		prev = id
+	}
+	if want := fmt.Sprint([]uint64{3, 4, 5, 6, 7}); fmt.Sprint(ids) != want {
+		t.Errorf("ids = %v, want %s", ids, want)
+	}
+}
+
+// TestEventsSSENoHeader: without Last-Event-ID the stream is live-only —
+// retained events are not replayed to first-time subscribers.
+func TestEventsSSENoHeader(t *testing.T) {
+	obs := New()
+	srv := NewServer("test", obs, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	obs.Emit(LevelInfo, "old.1")
+	obs.Emit(LevelInfo, "old.2")
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The subscription is live before the handler writes its banner, so
+	// anything emitted after the banner line is readable is deliverable.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), ":") {
+		t.Fatalf("missing SSE banner, got %q", sc.Text())
+	}
+	obs.Emit(LevelInfo, "live.1")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			id, _ := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if id != 3 {
+				t.Errorf("first live id = %d, want 3 (no replay without Last-Event-ID)", id)
+			}
+			return
+		}
+	}
+	t.Fatalf("no event arrived: %v", sc.Err())
+}

@@ -9,12 +9,15 @@ import (
 	"net/http"
 
 	"swatop/internal/obsrv"
+	"swatop/internal/reqtrace"
 )
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /infer    submit one inference request (JSON body, may be empty)
+//	POST /infer    submit one inference request (JSON body, may be empty;
+//	               a W3C traceparent header joins the caller's trace)
 //	GET  /serverz  serving status: queue, breaker, batch/shed/degraded counts
+//	GET  /tracez   tail-sampled request traces (when Config.Trace is set)
 //	...            every read-only introspection endpoint of internal/obsrv
 //	               (/healthz, /metrics, /statusz, /events, /flightz, pprof)
 //
@@ -24,7 +27,11 @@ import (
 // a result or an explicit backoff — and never a 5xx.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/", obsrv.NewServer("swserve", s.obs, s.reg).Handler())
+	obs := obsrv.NewServer("swserve", s.obs, s.reg)
+	if s.cfg.Trace != nil {
+		obs.Mount("/tracez", s.cfg.Trace.Handler(), "tail-sampled request traces")
+	}
+	mux.Handle("/", obs.Handler())
 	mux.HandleFunc("/infer", s.handleInfer)
 	mux.HandleFunc("/serverz", s.handleServerz)
 	return mux
@@ -50,10 +57,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "negative deadline_ms")
 		return
 	}
+	req.TraceParent = r.Header.Get("traceparent")
 
 	resp, err := s.Submit(r.Context(), req)
 	switch {
 	case err == nil:
+		if resp.TraceID != "" {
+			w.Header().Set("traceparent",
+				reqtrace.FormatTraceparent(resp.TraceID, reqtrace.NewSpanID()))
+		}
 		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, ErrShed):
 		s.setRetryAfter(w)
@@ -106,10 +118,39 @@ type ServerStatus struct {
 	Degraded      int64   `json:"degraded_total"`
 	Batches       int64   `json:"batches_total"`
 	BatchFailures int64   `json:"batch_failures_total"`
+	// Tracing/SLO report the observability guardrails when configured.
+	Tracing *reqtrace.Stats `json:"tracing,omitempty"`
+	SLO     *SLOStatus      `json:"slo,omitempty"`
+}
+
+// SLOStatus is the /serverz view of the SLO guardrail.
+type SLOStatus struct {
+	P99TargetMs  float64 `json:"p99_target_ms,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
+	BurnRate     float64 `json:"burn_rate"`
+	Threshold    float64 `json:"burn_threshold"`
+	Breaches     uint64  `json:"breaches_total"`
+	Profiles     uint64  `json:"profiles_total"`
 }
 
 // Status freezes the current serving state.
 func (s *Server) Status() ServerStatus {
+	var tracing *reqtrace.Stats
+	if s.cfg.Trace != nil {
+		st := s.cfg.Trace.Stats()
+		tracing = &st
+	}
+	var slo *SLOStatus
+	if s.cfg.SLO != nil {
+		slo = &SLOStatus{
+			P99TargetMs:  s.cfg.SLO.P99TargetMs,
+			Availability: s.cfg.SLO.Availability,
+			BurnRate:     s.SLOBurnRate(),
+			Threshold:    s.cfg.SLO.burnThreshold(),
+			Breaches:     s.SLOBreaches(),
+			Profiles:     s.SLOProfiles(),
+		}
+	}
 	return ServerStatus{
 		Net:           s.cfg.Net,
 		Groups:        s.cfg.Groups,
@@ -129,6 +170,8 @@ func (s *Server) Status() ServerStatus {
 		Degraded:      s.reg.Counter("serve_degraded_total").Value(),
 		Batches:       s.reg.Counter("serve_batches_total").Value(),
 		BatchFailures: s.reg.Counter("serve_batch_failures_total").Value(),
+		Tracing:       tracing,
+		SLO:           slo,
 	}
 }
 

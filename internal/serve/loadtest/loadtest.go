@@ -64,6 +64,36 @@ type Report struct {
 	// ShedRate is Shed/Total; ThroughputRPS is OK per wall second.
 	ShedRate      float64 `json:"shed_rate"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Phases attributes where served requests spent their time, per phase
+	// as reported by the server (queue wait, batch formation, execution,
+	// inter-group communication). The four server-side phases sum to the
+	// server-observed latency for every request; PhaseSumErrMax is the
+	// largest relative mismatch seen, a consistency check that should stay
+	// well under 1%.
+	Phases         PhaseReport `json:"phases"`
+	PhaseSumErrMax float64     `json:"phase_sum_err_max"`
+}
+
+// PhaseReport is the per-phase latency attribution over served requests.
+type PhaseReport struct {
+	Queue PhaseStats `json:"queue"`
+	Batch PhaseStats `json:"batch"`
+	Exec  PhaseStats `json:"exec"`
+	Comm  PhaseStats `json:"comm"`
+}
+
+// PhaseStats are nearest-rank percentiles of one phase, in milliseconds.
+type PhaseStats struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// phaseSample is one served request's server-side attribution.
+type phaseSample struct {
+	queue, batch, exec, comm float64 // ms
+	latency                  float64 // server-observed end-to-end ms
 }
 
 // clientResult is one worker's tally, merged after the run.
@@ -72,6 +102,7 @@ type clientResult struct {
 	degraded  int
 	errors    int
 	latencies []float64 // ms, 200s only
+	phases    []phaseSample
 }
 
 // Run fires opts.Requests at baseURL's /infer endpoint from opts.Clients
@@ -109,7 +140,7 @@ func Run(baseURL string, opts Options) (*Report, error) {
 					ID:         fmt.Sprintf("load-%d", n),
 					DeadlineMs: opts.DeadlineMs,
 				}
-				status, degraded, ms, err := fire(client, url, req)
+				status, body, ms, err := fire(client, url, req)
 				if err != nil {
 					res.errors++
 					continue
@@ -117,9 +148,16 @@ func Run(baseURL string, opts Options) (*Report, error) {
 				res.statuses[status]++
 				if status == http.StatusOK {
 					res.latencies = append(res.latencies, ms)
-					if degraded {
+					if body.Degraded {
 						res.degraded++
 					}
+					res.phases = append(res.phases, phaseSample{
+						queue:   body.QueueMs,
+						batch:   body.BatchMs,
+						exec:    body.ExecMs,
+						comm:    body.CommMs,
+						latency: body.LatencyMs,
+					})
 				}
 			}
 			results[c] = res
@@ -129,26 +167,24 @@ func Run(baseURL string, opts Options) (*Report, error) {
 	return merge(results, opts, time.Since(start)), nil
 }
 
-// fire sends one request and decodes the terminal status.
-func fire(client *http.Client, url string, req serve.Request) (status int, degraded bool, ms float64, err error) {
+// fire sends one request and decodes the terminal status and, on 200, the
+// response body (for degraded flags and per-phase attribution).
+func fire(client *http.Client, url string, req serve.Request) (status int, r serve.Response, ms float64, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, false, 0, err
+		return 0, r, 0, err
 	}
 	t0 := time.Now()
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, false, 0, err
+		return 0, r, 0, err
 	}
 	defer resp.Body.Close()
 	ms = time.Since(t0).Seconds() * 1e3
 	if resp.StatusCode == http.StatusOK {
-		var r serve.Response
-		if derr := json.NewDecoder(resp.Body).Decode(&r); derr == nil {
-			degraded = r.Degraded
-		}
+		_ = json.NewDecoder(resp.Body).Decode(&r)
 	}
-	return resp.StatusCode, degraded, ms, nil
+	return resp.StatusCode, r, ms, nil
 }
 
 func merge(results []clientResult, opts Options, wall time.Duration) *Report {
@@ -159,6 +195,7 @@ func merge(results []clientResult, opts Options, wall time.Duration) *Report {
 		Statuses: map[int]int{},
 	}
 	var lats []float64
+	var phases []phaseSample
 	for _, r := range results {
 		for s, n := range r.statuses {
 			rep.Statuses[s] += n
@@ -166,6 +203,7 @@ func merge(results []clientResult, opts Options, wall time.Duration) *Report {
 		rep.Degraded += r.degraded
 		rep.Errors += r.errors
 		lats = append(lats, r.latencies...)
+		phases = append(phases, r.phases...)
 	}
 	rep.OK = rep.Statuses[http.StatusOK]
 	rep.Shed = rep.Statuses[http.StatusTooManyRequests]
@@ -184,7 +222,44 @@ func merge(results []clientResult, opts Options, wall time.Duration) *Report {
 	if n := len(lats); n > 0 {
 		rep.MaxMs = lats[n-1]
 	}
+	queue := make([]float64, 0, len(phases))
+	batch := make([]float64, 0, len(phases))
+	exec := make([]float64, 0, len(phases))
+	comm := make([]float64, 0, len(phases))
+	for _, p := range phases {
+		queue = append(queue, p.queue)
+		batch = append(batch, p.batch)
+		exec = append(exec, p.exec)
+		comm = append(comm, p.comm)
+		if p.latency > 0 {
+			sum := p.queue + p.batch + p.exec + p.comm
+			if err := abs(sum-p.latency) / p.latency; err > rep.PhaseSumErrMax {
+				rep.PhaseSumErrMax = err
+			}
+		}
+	}
+	rep.Phases.Queue = phaseStats(queue)
+	rep.Phases.Batch = phaseStats(batch)
+	rep.Phases.Exec = phaseStats(exec)
+	rep.Phases.Comm = phaseStats(comm)
 	return rep
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// phaseStats sorts one phase's samples (in place) and takes percentiles.
+func phaseStats(ms []float64) PhaseStats {
+	sort.Float64s(ms)
+	return PhaseStats{
+		P50Ms: percentile(ms, 50),
+		P90Ms: percentile(ms, 90),
+		P99Ms: percentile(ms, 99),
+	}
 }
 
 // percentile is the nearest-rank percentile of an ascending-sorted slice.
@@ -209,7 +284,12 @@ func (r *Report) String() string {
 		r.Total, r.Clients, r.Wall.Seconds())
 	fmt.Fprintf(&b, "  served %d (%.1f rps, %d degraded)  shed %d (%.1f%%)  expired %d  draining %d  errors %d\n",
 		r.OK, r.ThroughputRPS, r.Degraded, r.Shed, 100*r.ShedRate, r.Expired, r.Draining, r.Errors)
-	fmt.Fprintf(&b, "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f",
+	fmt.Fprintf(&b, "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	fmt.Fprintf(&b, "  phase ms (p50/p90/p99): queue %.2f/%.2f/%.2f  batch %.2f/%.2f/%.2f  exec %.2f/%.2f/%.2f  comm %.2f/%.2f/%.2f",
+		r.Phases.Queue.P50Ms, r.Phases.Queue.P90Ms, r.Phases.Queue.P99Ms,
+		r.Phases.Batch.P50Ms, r.Phases.Batch.P90Ms, r.Phases.Batch.P99Ms,
+		r.Phases.Exec.P50Ms, r.Phases.Exec.P90Ms, r.Phases.Exec.P99Ms,
+		r.Phases.Comm.P50Ms, r.Phases.Comm.P90Ms, r.Phases.Comm.P99Ms)
 	return b.String()
 }

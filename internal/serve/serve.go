@@ -40,6 +40,7 @@ import (
 	"swatop/internal/infer"
 	"swatop/internal/metrics"
 	"swatop/internal/obsrv"
+	"swatop/internal/reqtrace"
 )
 
 // Admission errors. The HTTP layer maps these onto status codes; embedded
@@ -106,6 +107,19 @@ type Config struct {
 	// Metrics/Observer receive the daemon's instrumentation.
 	Metrics  *metrics.Registry
 	Observer *obsrv.Observer
+	// Trace, when non-nil, enables request-scoped tracing: every admitted
+	// request gets a W3C trace ID (inherited from an incoming traceparent
+	// header when present) and a span tree — admit, queue-wait, batch
+	// formation, schedule resolution, per-group execution, comm share,
+	// respond — tail-sampled into the store behind /tracez. Purely
+	// observational: schedules and simulated machine seconds are
+	// bit-identical with tracing on or off.
+	Trace *reqtrace.Store
+	// SLO, when non-nil, runs the error-budget guardrail: a background
+	// checker computes burn rate from the latency histogram and the
+	// shed/expired counters, and a breach auto-dumps the flight recorder
+	// plus a CPU profile. See SLO.
+	SLO *SLO
 }
 
 // Request is one inference request: a single sample to be coalesced into
@@ -116,6 +130,10 @@ type Request struct {
 	// DeadlineMs bounds the request's total latency; 0 uses the server's
 	// default deadline (which may be none).
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// TraceParent is the incoming W3C traceparent header value, set by the
+	// HTTP layer (never from the JSON body). Empty or malformed values
+	// start a fresh trace.
+	TraceParent string `json:"-"`
 }
 
 // Response is the answer to one admitted request.
@@ -138,11 +156,21 @@ type Response struct {
 	TunedOps    int `json:"tuned_ops"`
 	CachedOps   int `json:"cached_ops"`
 	DegradedOps int `json:"degraded_ops,omitempty"`
-	// QueueMs/RunMs/LatencyMs split the request's wall-clock latency into
-	// time-to-batch and batch execution.
+	// QueueMs/BatchMs/ExecMs/CommMs are the per-phase attribution of
+	// LatencyMs: time queued before the batcher picked the request up,
+	// batch-formation time (window fill until dispatch), execution, and
+	// the batch's modeled inter-group communication share of the run.
+	// They sum to LatencyMs exactly. RunMs is the whole engine run
+	// (ExecMs + CommMs, measured independently).
 	QueueMs   float64 `json:"queue_ms"`
+	BatchMs   float64 `json:"batch_ms"`
+	ExecMs    float64 `json:"exec_ms"`
+	CommMs    float64 `json:"comm_ms"`
 	RunMs     float64 `json:"run_ms"`
 	LatencyMs float64 `json:"latency_ms"`
+	// TraceID identifies the request's trace when tracing is enabled; slow
+	// or unusual requests can be looked up at /tracez/<id>.
+	TraceID string `json:"trace_id,omitempty"`
 	// MachineMs is the batch's simulated machine time; PerInferenceMs is
 	// that time amortized over the bucket — the hardware-side latency the
 	// wall numbers above wrap.
@@ -154,9 +182,11 @@ type Response struct {
 type pending struct {
 	id       string
 	enq      time.Time
+	deq      time.Time // when the batcher picked it up (stamped by batcher)
 	deadline time.Time // zero: none
 	canceled atomic.Bool
 	done     chan outcome
+	rec      *reqtrace.Recorder // nil when tracing is off
 }
 
 type outcome struct {
@@ -183,6 +213,8 @@ type Server struct {
 
 	warmMu   sync.Mutex
 	warmSecs map[int]float64
+
+	slo sloState
 }
 
 // New validates the config, fits the engine's cost model and starts the
@@ -241,6 +273,9 @@ func New(cfg Config) (*Server, error) {
 		obsrv.F("queue_depth", cfg.QueueDepth), obsrv.F("buckets", fmt.Sprint(buckets)),
 		obsrv.F("groups", cfg.Groups))
 	go s.batcher()
+	if cfg.SLO != nil {
+		go s.sloChecker()
+	}
 	return s, nil
 }
 
@@ -348,6 +383,9 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 		enq:  time.Now(),
 		done: make(chan outcome, 1),
 	}
+	if s.cfg.Trace != nil {
+		p.rec = reqtrace.Start(req.TraceParent)
+	}
 	if req.DeadlineMs > 0 {
 		p.deadline = p.enq.Add(time.Duration(req.DeadlineMs * float64(time.Millisecond)))
 	} else if s.cfg.DefaultDeadline > 0 {
@@ -358,6 +396,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	if s.draining {
 		s.mu.RUnlock()
 		s.reg.Counter("serve_drain_rejected_total").Inc()
+		s.finishTrace(p, 503, false)
 		return nil, ErrDraining
 	}
 	select {
@@ -367,12 +406,15 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 		s.mu.RUnlock()
 		s.reg.Counter("serve_shed_total").Inc()
 		s.obs.Emit(obsrv.LevelDebug, "serve.shed", obsrv.F("id", req.ID))
+		s.finishTrace(p, 429, false)
 		return nil, ErrShed
 	}
 	s.reg.Counter("serve_admitted_total").Inc()
 	depth := float64(len(s.queue))
 	s.reg.Gauge("serve_queue_depth").Set(depth)
 	s.reg.Gauge("serve_queue_depth_max").Max(depth)
+	p.rec.Span(reqtrace.PhaseAdmit, "admit", p.enq, time.Since(p.enq),
+		map[string]string{"queue_depth": fmt.Sprint(int(depth))})
 
 	select {
 	case o := <-p.done:
@@ -382,7 +424,21 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 		// has not yet executed.
 		p.canceled.Store(true)
 		s.reg.Counter("serve_canceled_total").Inc()
+		s.finishTrace(p, 499, false)
 		return nil, ctx.Err()
+	}
+}
+
+// finishTrace seals a request's trace with its terminal status and hands
+// it to the tail-sampling store. No-op without tracing; Finish is
+// idempotent, so racing terminal paths (cancel vs. deliver) store once.
+func (s *Server) finishTrace(p *pending, status int, degraded bool) {
+	if p.rec == nil {
+		return
+	}
+	tr := p.rec.Finish(status, degraded, time.Now())
+	if tr.ID != "" {
+		s.cfg.Trace.Add(tr)
 	}
 }
 
@@ -427,6 +483,7 @@ func (s *Server) batcher() {
 		if !ok {
 			return
 		}
+		p.deq = time.Now()
 		batch := []*pending{p}
 		if s.cfg.MaxBatch > 1 {
 			timer := time.NewTimer(s.cfg.BatchWindow)
@@ -437,6 +494,7 @@ func (s *Server) batcher() {
 					if !ok {
 						break collect
 					}
+					q.deq = time.Now()
 					batch = append(batch, q)
 				case <-timer.C:
 					break collect
@@ -480,16 +538,23 @@ func (s *Server) runBatch(batch []*pending) {
 	}
 	defer cancel()
 
+	// One batch-level span collector, imported into every member's trace:
+	// resolve and per-group exec spans are shared by the whole batch.
+	var spans *reqtrace.Spans
+	if s.cfg.Trace != nil {
+		spans = &reqtrace.Spans{}
+	}
+
 	tuned := s.breaker.allowTuning()
 	start := time.Now()
-	res, err := s.execute(ctx, bucket, tuned)
+	res, err := s.execute(ctx, bucket, tuned, spans)
 	if err != nil && tuned && !isDeadline(err) {
 		// A hard failure on the tuned path charges the breaker and is
 		// retried once in degraded mode — requests see a flagged answer,
 		// not an error, whenever the baseline can still serve.
 		s.recordBreaker(true)
 		tuned = false
-		res, err = s.execute(ctx, bucket, false)
+		res, err = s.execute(ctx, bucket, false, spans)
 	}
 	runMs := time.Since(start).Seconds() * 1e3
 
@@ -508,6 +573,7 @@ func (s *Server) runBatch(batch []*pending) {
 			obsrv.F("bucket", bucket), obsrv.F("error", err))
 		for _, p := range live {
 			s.deliver(p, outcome{err: err})
+			s.finishTrace(p, 500, false)
 		}
 		return
 	}
@@ -528,11 +594,24 @@ func (s *Server) runBatch(batch []*pending) {
 		obsrv.Ms("machine_ms", res.Seconds))
 
 	done := time.Now()
+	// Per-phase attribution splits each member's wall latency exactly:
+	// queue (enqueue -> batcher pickup) + batch (pickup -> dispatch) +
+	// exec + comm (the run, split by the batch's modeled comm fraction)
+	// = latency. The comm fraction comes from simulated seconds, but only
+	// apportions measured wall time — it never feeds back into execution.
+	runDur := done.Sub(start)
+	commShare := 0.0
+	if res.Seconds > 0 && res.CommSeconds > 0 {
+		commShare = res.CommSeconds / res.Seconds
+	}
+	commDur := time.Duration(float64(runDur) * commShare)
 	for _, p := range live {
 		if !p.deadline.IsZero() && done.After(p.deadline) {
 			s.expire(p)
 			continue
 		}
+		queueDur := p.deq.Sub(p.enq)
+		batchDur := start.Sub(p.deq)
 		resp := &Response{
 			ID:             p.id,
 			Net:            s.cfg.Net,
@@ -543,29 +622,54 @@ func (s *Server) runBatch(batch []*pending) {
 			TunedOps:       res.TunedOps,
 			CachedOps:      res.CachedOps,
 			DegradedOps:    res.DegradedOps,
-			QueueMs:        start.Sub(p.enq).Seconds() * 1e3,
+			QueueMs:        queueDur.Seconds() * 1e3,
+			BatchMs:        batchDur.Seconds() * 1e3,
+			ExecMs:         (runDur - commDur).Seconds() * 1e3,
+			CommMs:         commDur.Seconds() * 1e3,
 			RunMs:          runMs,
 			LatencyMs:      done.Sub(p.enq).Seconds() * 1e3,
 			MachineMs:      res.Seconds * 1e3,
 			PerInferenceMs: res.Seconds * 1e3 / float64(bucket),
+			TraceID:        p.rec.ID(),
 		}
 		s.reg.Counter("serve_responses_total").Inc()
 		if degraded {
 			s.reg.Counter("serve_degraded_total").Inc()
 		}
-		s.reg.Histogram("serve_latency_ms",
-			0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000).Observe(resp.LatencyMs)
+		hist := s.reg.Histogram("serve_latency_ms",
+			0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+		if p.rec != nil {
+			hist.ObserveExemplar(resp.LatencyMs, p.rec.ID())
+			p.rec.Span(reqtrace.PhaseQueue, "queue wait", p.enq, queueDur, nil)
+			p.rec.Span(reqtrace.PhaseBatch, "batch form", p.deq, batchDur,
+				map[string]string{
+					"batch": fmt.Sprint(len(live)), "bucket": fmt.Sprint(bucket),
+					"mode": res.Mode, "tuned": fmt.Sprint(tuned),
+				})
+			p.rec.Import(spans)
+			p.rec.Span(reqtrace.PhaseComm, "inter-group comm share", done.Add(-commDur), commDur,
+				map[string]string{"machine_comm_ms": reqtrace.MsArg(res.CommSeconds * 1e3)})
+		} else {
+			hist.Observe(resp.LatencyMs)
+		}
 		s.deliver(p, outcome{resp: resp})
+		if p.rec != nil {
+			p.rec.Span(reqtrace.PhaseRespond, "respond", done, time.Since(done), nil)
+			s.finishTrace(p, 200, degraded)
+		}
 	}
 }
 
-// execute runs one bucket-sized batch through the engine.
-func (s *Server) execute(ctx context.Context, bucket int, tuned bool) (*infer.Result, error) {
+// execute runs one bucket-sized batch through the engine. spans, when
+// non-nil, collects the run's resolve and per-group exec spans.
+func (s *Server) execute(ctx context.Context, bucket int, tuned bool, spans *reqtrace.Spans) (*infer.Result, error) {
 	g, err := s.cfg.Builder(bucket)
 	if err != nil {
 		return nil, fmt.Errorf("serve: building bucket-%d graph: %w", bucket, err)
 	}
-	return s.eng.Run(ctx, g, s.runOptions(tuned))
+	opts := s.runOptions(tuned)
+	opts.Spans = spans
+	return s.eng.Run(ctx, g, opts)
 }
 
 // recordBreaker feeds one batch outcome into the breaker and publishes
@@ -589,7 +693,11 @@ func (s *Server) recordBreaker(bad bool) {
 func (s *Server) expire(p *pending) {
 	s.reg.Counter("serve_deadline_expired_total").Inc()
 	s.obs.Emit(obsrv.LevelDebug, "serve.expired", obsrv.F("id", p.id))
+	if p.rec != nil && !p.deq.IsZero() {
+		p.rec.Span(reqtrace.PhaseQueue, "queue wait", p.enq, p.deq.Sub(p.enq), nil)
+	}
 	s.deliver(p, outcome{err: ErrDeadline})
+	s.finishTrace(p, 408, false)
 }
 
 // deliver hands the outcome to the waiting Submit (buffered; never blocks,

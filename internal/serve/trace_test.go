@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"swatop/internal/metrics"
+	"swatop/internal/reqtrace"
+)
+
+// TestTraceMachineSecondsInvariant: attaching a trace store must not change
+// a single simulated machine second — spans are observations around the
+// deterministic work, never inputs to it. Warmed bucket seconds and every
+// per-request machine time must be bit-identical with tracing on and off.
+// This is the `make trace-check` gate.
+func TestTraceMachineSecondsInvariant(t *testing.T) {
+	run := func(store *reqtrace.Store) (map[int]float64, []float64) {
+		t.Helper()
+		s := newServer(t, Config{
+			MaxBatch: 2,
+			Buckets:  []int{1, 2},
+			Groups:   2, // fleet path: exercises per-group exec + comm spans
+			Metrics:  metrics.NewRegistry(),
+			Trace:    store,
+		})
+		secs, err := s.Warmup(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var machine []float64
+		for i := 0; i < 6; i++ {
+			resp, err := s.Submit(context.Background(), Request{ID: fmt.Sprintf("r%d", i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine = append(machine, resp.MachineMs)
+		}
+		return secs, machine
+	}
+
+	offSecs, offMachine := run(nil)
+	store := reqtrace.NewStore(reqtrace.StoreOptions{SampleRate: 1})
+	onSecs, onMachine := run(store)
+
+	for b, want := range offSecs {
+		if got := onSecs[b]; got != want {
+			t.Errorf("bucket %d: warm machine seconds %v traced, %v untraced (must be bit-identical)", b, got, want)
+		}
+	}
+	for i := range offMachine {
+		if onMachine[i] != offMachine[i] {
+			t.Errorf("request %d: machine ms %v traced, %v untraced (must be bit-identical)", i, onMachine[i], offMachine[i])
+		}
+	}
+
+	// And the traced run actually captured complete span trees.
+	if store.Len() == 0 {
+		t.Fatal("trace store retained nothing at sample rate 1")
+	}
+	tr := store.Traces()[0]
+	phases := map[string]bool{}
+	for _, sp := range tr.Spans {
+		phases[sp.Phase] = true
+	}
+	for _, want := range []string{
+		reqtrace.PhaseAdmit, reqtrace.PhaseQueue, reqtrace.PhaseBatch,
+		reqtrace.PhaseExec, reqtrace.PhaseComm, reqtrace.PhaseRespond,
+	} {
+		if !phases[want] {
+			t.Errorf("trace %s missing %q span (has %v)", tr.ID, want, phases)
+		}
+	}
+}
+
+// TestTracePhaseSumsMatchLatency: the four server-side phases are exact by
+// construction — queue + batch + exec + comm must equal the end-to-end
+// latency for every response.
+func TestTracePhaseSumsMatchLatency(t *testing.T) {
+	s := newServer(t, Config{
+		MaxBatch: 2,
+		Buckets:  []int{1, 2},
+		Metrics:  metrics.NewRegistry(),
+		Trace:    reqtrace.NewStore(reqtrace.StoreOptions{SampleRate: 1}),
+	})
+	if _, err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		resp, err := s.Submit(context.Background(), Request{ID: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := resp.QueueMs + resp.BatchMs + resp.ExecMs + resp.CommMs
+		if diff := sum - resp.LatencyMs; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("request %d: phase sum %v != latency %v (diff %v)", i, sum, resp.LatencyMs, diff)
+		}
+		if resp.TraceID == "" {
+			t.Errorf("request %d: no trace id on traced server", i)
+		}
+	}
+}
+
+// TestServeMetricsHelpText: every serve_*, search_* and cache_* metric a
+// real serving run publishes must carry curated HELP text, not the generic
+// "swATOP <kind>." fallback — the audit the exposition relies on.
+func TestServeMetricsHelpText(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newServer(t, Config{
+		MaxBatch: 2,
+		Buckets:  []int{1, 2},
+		Metrics:  reg,
+		SLO:      &SLO{P99TargetMs: 1000, Availability: 0.99, CheckInterval: time.Hour},
+	})
+	if _, err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), Request{ID: "audit"}); err != nil {
+		t.Fatal(err)
+	}
+	s.CheckSLO()
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	audited := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "# HELP ")
+		name, help, ok := strings.Cut(rest, " ")
+		if !ok {
+			t.Errorf("malformed HELP line %q", line)
+			continue
+		}
+		base := name
+		if i := strings.Index(base, "group"); i == 0 {
+			if j := strings.Index(base, "_"); j > 0 {
+				base = base[j+1:]
+			}
+		}
+		for _, prefix := range []string{"serve_", "search_", "cache_"} {
+			if strings.HasPrefix(base, prefix) {
+				audited++
+				if strings.HasPrefix(help, "swATOP ") {
+					t.Errorf("metric %s has only the generic fallback help %q", name, help)
+				}
+			}
+		}
+	}
+	if audited < 10 {
+		t.Fatalf("audited only %d serve_/search_/cache_ metrics — the run did not exercise the surface", audited)
+	}
+}

@@ -57,6 +57,13 @@ func (l *Log) AddGroup(group int, kind Kind, label string, start, dur float64) {
 	l.Events = append(l.Events, Event{Kind: kind, Label: label, Start: start, Dur: dur, Group: group})
 }
 
+// AddGroupArgs appends a group event carrying Args metadata. Comm events
+// use it to label their source and destination groups ("src"/"dst"), which
+// the fleet Gantt renders as a legend under the rows.
+func (l *Log) AddGroupArgs(group int, kind Kind, label string, start, dur float64, args map[string]string) {
+	l.Events = append(l.Events, Event{Kind: kind, Label: label, Start: start, Dur: dur, Group: group, Args: args})
+}
+
 // Len reports the event count.
 func (l *Log) Len() int { return len(l.Events) }
 
@@ -320,6 +327,64 @@ func (l *Log) ganttGroups(width int, end float64) string {
 			}
 		}
 		fmt.Fprintf(&b, "%-10s |%s|\n", fmt.Sprintf("group%d", g), row)
+	}
+	b.WriteString(l.commLegend())
+	return b.String()
+}
+
+// commLegend lists the comm events under the fleet rows with their
+// source→destination groups, so concurrent collectives in the same window
+// stay distinguishable. Events sharing a label and start time (a collective
+// stamped on every participating group) collapse to one line with the
+// union of their sources.
+func (l *Log) commLegend() string {
+	type entry struct {
+		label      string
+		start, dur float64
+		srcs       []string
+		dst        string
+	}
+	var order []*entry
+	index := map[string]*entry{}
+	for _, ev := range l.Events {
+		if ev.Kind != KindComm {
+			continue
+		}
+		key := fmt.Sprintf("%s@%.9g", ev.Label, ev.Start)
+		en := index[key]
+		if en == nil {
+			en = &entry{label: ev.Label, start: ev.Start, dur: ev.Dur, dst: ev.Args["dst"]}
+			index[key] = en
+			order = append(order, en)
+		}
+		src := ev.Args["src"]
+		if src == "" {
+			src = fmt.Sprintf("group%d", ev.Group)
+		}
+		dup := false
+		for _, s := range en.srcs {
+			if s == src {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			en.srcs = append(en.srcs, src)
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("comm:\n")
+	for _, en := range order {
+		sort.Strings(en.srcs)
+		dst := en.dst
+		if dst == "" {
+			dst = "?"
+		}
+		fmt.Fprintf(&b, "  %-24s %s -> %s  @%.4g+%.4g ms\n",
+			en.label, strings.Join(en.srcs, ","), dst, en.start*1e3, en.dur*1e3)
 	}
 	return b.String()
 }
