@@ -7,7 +7,8 @@ GO ?= go
 COVER_BASELINE ?= 69.0
 
 .PHONY: all build vet unreachable fmt test race fuzz shuffle cover chaos ci \
-	search-check trace-check bench bench-snapshot bench-check
+	search-check trace-check obs-check bench bench-snapshot bench-check \
+	bench-diff
 
 all: build
 
@@ -81,8 +82,17 @@ search-check:
 trace-check:
 	$(GO) test -run 'TestTraceMachineSecondsInvariant|TestTraceAcceptanceLoad' -count=1 -v ./internal/serve/...
 
+# Telemetry acceptance: the history scraper storming the registry leaves
+# selected schedules and every deterministic metric bit-identical to a
+# history-disabled run, scrape-while-write is race-clean, and bench-diff
+# on identical snapshots attributes to zero everywhere.
+obs-check:
+	$(GO) test -race -run 'TestHistoryMachineSecondsInvariant|TestConcurrentScrapeWhileWrite|TestConcurrentRegistrySnapshot' -count=1 -v ./internal/tshist/
+	$(GO) test -run 'TestAttributeIdenticalZero' -count=1 -v ./internal/bench/
+	$(GO) run ./cmd/swbench -bench-diff BENCH_baseline.json BENCH_baseline.json
+
 # The tier-1 loop: what every change must keep green.
-ci: build vet unreachable fmt test race fuzz shuffle cover chaos search-check trace-check
+ci: build vet unreachable fmt test race fuzz shuffle cover chaos search-check trace-check obs-check
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -96,3 +106,13 @@ bench-snapshot:
 
 bench-check:
 	$(GO) run ./cmd/swbench -bench-against BENCH_baseline.json
+
+# Differential attribution between two snapshot files:
+#   make bench-diff OLD=old.json NEW=new.json
+# explains each machine-seconds delta per workload -> phase (exec/comm) ->
+# layer, naming schedule changes. Defaults compare the committed baseline
+# against itself (zero everywhere).
+OLD ?= BENCH_baseline.json
+NEW ?= BENCH_baseline.json
+bench-diff:
+	$(GO) run ./cmd/swbench -bench-diff $(OLD) $(NEW)

@@ -44,6 +44,9 @@ func benchCmd(sess *cliobs.Session, out, against string, tolerancePct float64, w
 		diff := bench.Compare(snap, base, tolerancePct)
 		fmt.Print(diff.String())
 		if !diff.OK() {
+			// Attribute the failure before exiting: the gate's job is not
+			// just "something regressed" but naming the layer and phase.
+			fmt.Print(bench.Attribute(base, snap).String())
 			fmt.Fprintf(os.Stderr, "swbench: machine-seconds regression beyond %.2f%% tolerance: %v\n",
 				tolerancePct, diff.Regressions())
 			return 1
@@ -51,6 +54,60 @@ func benchCmd(sess *cliobs.Session, out, against string, tolerancePct float64, w
 		fmt.Printf("bench: no regression beyond %.2f%% tolerance\n", tolerancePct)
 	}
 	return 0
+}
+
+// benchDiffCmd implements -bench-diff OLD.json NEW.json: no workloads are
+// run; the two snapshot files are compared and every machine-seconds delta
+// is attributed per workload, per phase (exec vs comm), and per layer,
+// naming schedule changes. Exit 1 when the new snapshot regresses any
+// workload, 0 otherwise (identical snapshots attribute to zero — the
+// obs-check gate relies on that).
+func benchDiffCmd(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "swbench: -bench-diff needs exactly two snapshot files: old.json new.json")
+		return 2
+	}
+	old, err := bench.Load(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		return 1
+	}
+	cur, err := bench.Load(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		return 1
+	}
+	a := bench.Attribute(old, cur)
+	fmt.Print(a.String())
+	if top := a.Top(); top != nil {
+		phase, layer := top.TopPhase(), ""
+		if l := top.TopLayer(); l != nil {
+			layer = l.Name
+		}
+		fmt.Fprintf(os.Stderr, "swbench: %s regressed %+.2f%% (phase %s, layer %s)\n",
+			top.Name, top.DeltaPct, orDash(phase), orDash(layer))
+		return 1
+	}
+	return 0
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// layerCosts converts a network report's per-layer breakdown into the
+// snapshot's attribution records.
+func layerCosts(rep *swatop.NetReport) []bench.LayerCost {
+	out := make([]bench.LayerCost, 0, len(rep.Layers))
+	for _, l := range rep.Layers {
+		out = append(out, bench.LayerCost{
+			Name: l.Name, Kind: l.Kind, Seconds: l.Seconds, Strategy: l.Strategy,
+		})
+	}
+	return out
 }
 
 // collectSnapshot tunes the canonical workloads: the paper's headline
@@ -88,6 +145,11 @@ func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error)
 		WallSeconds:    time.Since(start).Seconds(),
 		Candidates:     reg.Counter("autotune_candidates_total").Value(),
 		GFLOPS:         tuned.GFLOPS(),
+		ExecSeconds:    tuned.Seconds(),
+		Layers: []bench.LayerCost{{
+			Name: "gemm-2048", Kind: "gemm",
+			Seconds: tuned.Seconds(), Strategy: tuned.Strategy(),
+		}},
 	})
 
 	reg = swatop.NewMetricsRegistry()
@@ -109,6 +171,9 @@ func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error)
 		WallSeconds:    time.Since(start).Seconds(),
 		Candidates:     reg.Counter("autotune_candidates_total").Value(),
 		GFLOPS:         rep.GFLOPS,
+		ExecSeconds:    rep.Seconds - rep.CommSeconds,
+		CommSeconds:    rep.CommSeconds,
+		Layers:         layerCosts(rep),
 	})
 
 	// The sample-efficient-search row: the same batch-1 inference tuned by
@@ -138,6 +203,9 @@ func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error)
 		Candidates:     cands,
 		GFLOPS:         rep.GFLOPS,
 		SpacePoints:    space,
+		ExecSeconds:    rep.Seconds - rep.CommSeconds,
+		CommSeconds:    rep.CommSeconds,
+		Layers:         layerCosts(rep),
 	}
 	if space > 0 {
 		evoRow.CoveragePct = 100 * float64(cands) / float64(space)
@@ -175,6 +243,9 @@ func collectSnapshot(sess *cliobs.Session, workers int) (*bench.Snapshot, error)
 			Candidates:       reg.Counter("autotune_candidates_total").Value(),
 			GFLOPS:           rep.GFLOPS,
 			InferencesPerSec: rep.InferencesPerSec,
+			ExecSeconds:      rep.Seconds - rep.CommSeconds,
+			CommSeconds:      rep.CommSeconds,
+			Layers:           layerCosts(rep),
 		})
 	}
 
@@ -247,6 +318,7 @@ func collectServeWorkload(sess *cliobs.Session, workers int) (*bench.Workload, e
 		WallSeconds:    wall,
 		Candidates:     reg.Counter("autotune_candidates_total").Value(),
 		GFLOPS:         float64(g.FLOPs()) / sec / 1e9,
+		ExecSeconds:    sec,
 		// Sustained numbers from the closed-loop HTTP run (wall-clock,
 		// host-dependent, never gated).
 		InferencesPerSec: rep.ThroughputRPS,

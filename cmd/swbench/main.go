@@ -8,6 +8,7 @@
 //	        [-listen addr] [experiment ...]
 //	swbench -bench-out BENCH.json
 //	swbench -bench-against BENCH.json [-bench-tolerance pct]
+//	swbench -bench-diff OLD.json NEW.json
 //	swbench -search-check
 //
 // Experiments: substrate fig5 fig6 fig7 table1 fig8 table2 table3 fig9
@@ -23,7 +24,11 @@
 // the canonical performance workloads (the 2048^3 GEMM point, VGG16
 // batch-1 inference, and VGG16 batch-8 throughput on 1 and 4 core
 // groups), writing or gating on a machine-seconds snapshot — the repo's
-// performance trajectory record.
+// performance trajectory record. -bench-diff runs nothing: it compares
+// two snapshot files and attributes every delta per workload, per phase
+// (exec vs comm machine seconds, serving p99 phases), and per layer —
+// naming the conv and the phase a regression lives in, and any schedule
+// change on that layer.
 //
 // -searcher replaces the exhaustive schedule walk with a sample-efficient
 // search (evolutionary or simulated annealing) that measures at most
@@ -62,6 +67,8 @@ func main() {
 		"run the canonical performance workloads and compare against this snapshot file (exit 1 on regression)")
 	benchTolerance := flag.Float64("bench-tolerance", bench.DefaultTolerancePct,
 		"allowed machine-seconds regression in percent for -bench-against")
+	benchDiff := flag.Bool("bench-diff", false,
+		"attribute the machine-seconds difference between two snapshot files (swbench -bench-diff old.json new.json); runs nothing, exit 1 on regression")
 	searcherName := flag.String("searcher", "",
 		"search strategy: evo or anneal; empty = exhaustive walk (results stay worker-count independent)")
 	budget := flag.Float64("budget", 0,
@@ -71,6 +78,11 @@ func main() {
 	obsFlags := cliobs.Register(flag.CommandLine,
 		"write a host-side experiment timeline (wall time) as Chrome trace-event JSON")
 	flag.Parse()
+
+	if *benchDiff {
+		// Pure file comparison: no tuner, no session, no workloads run.
+		os.Exit(benchDiffCmd(flag.Args()))
+	}
 
 	searcher, err := swatop.SearcherByName(*searcherName)
 	if err != nil {

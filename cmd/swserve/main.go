@@ -154,6 +154,7 @@ func main() {
 		Metrics:          reg,
 		Observer:         sess.Observer,
 		Trace:            store,
+		History:          sess.History,
 		SLO:              slo,
 	})
 	if err != nil {

@@ -69,6 +69,17 @@ type Workload struct {
 	// communication), in wall milliseconds from the canonical load-test.
 	// Informational like P99Ms — host-dependent, never gated.
 	Phases *PhaseAttribution `json:"phases,omitempty"`
+	// ExecSeconds and CommSeconds split the deterministic machine seconds
+	// into layer execution vs cross-group communication; bench-diff uses
+	// them to name the phase a regression lives in. Zero on rows from
+	// snapshots predating the fields (diff falls back to total - comm).
+	ExecSeconds float64 `json:"exec_seconds,omitempty"`
+	CommSeconds float64 `json:"comm_seconds,omitempty"`
+	// Layers records each layer's machine seconds and chosen schedule so
+	// bench-diff can attribute a workload regression to the exact layer
+	// and to a schedule change on it. Absent on kernel-only snapshots
+	// predating the field.
+	Layers []LayerCost `json:"layers,omitempty"`
 }
 
 // PhaseAttribution is the per-phase p99 breakdown of a serving workload.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func TestWriteLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Workloads) != 1 || got.Workloads[0] != want.Workloads[0] {
+	if len(got.Workloads) != 1 || !reflect.DeepEqual(got.Workloads[0], want.Workloads[0]) {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
 	if got.Lookup("gemm-2048") == nil || got.Lookup("missing") != nil {

@@ -1,10 +1,12 @@
 // Package cliobs is the shared observability plumbing of the five CLIs
 // (swatop, swbench, swinfer, swsim, swserve): one place registering the
-// -metrics, -trace-out, -listen and -flight-out flags, starting the
-// embedded introspection server, arming the signal handlers (SIGQUIT
-// flight dump; SIGTERM/SIGINT graceful drain) and rendering live progress
-// lines from the observer's job tracker. Adding a new observability
-// surface means touching this package once, not five main functions.
+// -metrics, -trace-out, -listen, -flight-out, -history and
+// -scrape-interval flags, starting the embedded introspection server
+// (with /varz + /dashz when history is on), arming the signal handlers
+// (SIGQUIT flight dump; SIGTERM/SIGINT graceful drain) and rendering live
+// progress lines from the observer's job tracker. Adding a new
+// observability surface means touching this package once, not five main
+// functions.
 package cliobs
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"swatop/internal/metrics"
 	"swatop/internal/obsrv"
+	"swatop/internal/tshist"
 )
 
 // Flags holds the parsed observability flag values.
@@ -35,6 +38,12 @@ type Flags struct {
 	Listen string
 	// FlightOut is where automatic flight-recorder dumps go ("" = stderr).
 	FlightOut string
+	// History enables the in-process time-series store: a scraper snapshots
+	// the registry every ScrapeInterval, and -listen additionally serves
+	// /varz (windowed rates/percentiles, JSON) and /dashz (HTML dashboard).
+	History bool
+	// ScrapeInterval is how often -history snapshots the registry.
+	ScrapeInterval time.Duration
 }
 
 // Register adds the shared observability flags to fs. traceHelp describes
@@ -49,6 +58,10 @@ func Register(fs *flag.FlagSet, traceHelp string) *Flags {
 		"serve live introspection on this address (/metrics, /statusz, /events, /debug/pprof/); ':0' picks a port")
 	fs.StringVar(&f.FlightOut, "flight-out", "",
 		"write automatic flight-recorder dumps (tune failure, fallback, SIGQUIT) to this file instead of stderr")
+	fs.BoolVar(&f.History, "history", false,
+		"keep a bounded in-process time-series history of the metrics registry; with -listen it serves /varz (JSON) and /dashz (HTML)")
+	fs.DurationVar(&f.ScrapeInterval, "scrape-interval", tshist.DefaultScrapeInterval,
+		"how often -history snapshots the metrics registry")
 	return f
 }
 
@@ -58,10 +71,15 @@ func Register(fs *flag.FlagSet, traceHelp string) *Flags {
 type Session struct {
 	Observer *obsrv.Observer
 	Registry *metrics.Registry
+	// History is the time-series store behind -history (nil without the
+	// flag). Daemons hand it to their own HTTP surface (swserve mounts
+	// /varz and /dashz on the serving port too).
+	History *tshist.Store
 
 	component string
 	flags     *Flags
 	server    *obsrv.Server
+	scraper   *tshist.Scraper
 	flightF   *os.File
 	sigCh     chan os.Signal
 
@@ -95,8 +113,22 @@ func (f *Flags) Start(component string, reg *metrics.Registry) (*Session, error)
 	} else {
 		s.Observer.SetFlightSink(os.Stderr)
 	}
+	if f.History {
+		// The scraper only reads registry snapshots, so history on/off
+		// cannot change selected schedules or any deterministic metric
+		// (the bit-identical invariant obs-check gates).
+		s.History = tshist.New(tshist.Options{})
+		s.scraper = tshist.NewScraper(s.History, reg, f.ScrapeInterval)
+	}
 	if f.Listen != "" {
 		s.server = obsrv.NewServer(component, s.Observer, reg)
+		if s.History != nil {
+			// Mounts must precede Start: the server freezes its mux there.
+			s.server.Mount("/varz", s.History.Handler(),
+				"time-series history: windowed counter rates, histogram percentiles, fleet utilization (JSON)")
+			s.server.Mount("/dashz", s.History.DashHandler(),
+				"time-series dashboard: utilization stack and per-series sparklines (HTML)")
+		}
 		addr, err := s.server.Start(f.Listen)
 		if err != nil {
 			s.Close()
@@ -104,6 +136,7 @@ func (f *Flags) Start(component string, reg *metrics.Registry) (*Session, error)
 		}
 		fmt.Fprintf(os.Stderr, "introspection: http://%s/\n", hostAddr(addr))
 	}
+	s.scraper.Start()
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	// Signal handling, shared by every CLI:
 	//   - SIGQUIT dumps the flight recorder before exiting — the unattended-
@@ -192,6 +225,10 @@ func (s *Session) Close() {
 	}
 	if s.cancel != nil {
 		s.cancel()
+	}
+	if s.scraper != nil {
+		s.scraper.Stop()
+		s.scraper = nil
 	}
 	if s.server != nil {
 		_ = s.server.Close()

@@ -1,0 +1,36 @@
+package metrics
+
+// Nearest-rank percentiles, shared by every consumer that summarizes a
+// latency or cost distribution (the serving load-test report, the
+// time-series history's windowed histogram queries, bench attribution).
+// One definition means "p99" is the same number everywhere it is printed.
+
+// PercentileIndex returns the 0-based nearest-rank index of the p-th
+// percentile in an ascending-sorted collection of n samples, or -1 when
+// n <= 0. The rank is ceil(p/100*n) with a small epsilon absorbing float
+// rounding (so p=50 over 8 samples selects rank 4, not 5), clamped into
+// [0, n-1] for out-of-range p.
+func PercentileIndex(n int, p float64) int {
+	if n <= 0 {
+		return -1
+	}
+	idx := int(p/100*float64(n)+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Percentile is the nearest-rank percentile of an ascending-sorted slice
+// (0 on an empty slice). The caller sorts; ties and repeated values behave
+// like any other sample.
+func Percentile(sorted []float64, p float64) float64 {
+	idx := PercentileIndex(len(sorted), p)
+	if idx < 0 {
+		return 0
+	}
+	return sorted[idx]
+}

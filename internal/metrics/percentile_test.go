@@ -1,0 +1,69 @@
+package metrics
+
+import "testing"
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(nil, 99); got != 0 {
+		t.Fatalf("empty slice: got %v, want 0", got)
+	}
+	if got := Percentile([]float64{}, 50); got != 0 {
+		t.Fatalf("empty slice: got %v, want 0", got)
+	}
+	if idx := PercentileIndex(0, 50); idx != -1 {
+		t.Fatalf("PercentileIndex(0, 50) = %d, want -1", idx)
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	s := []float64{42}
+	for _, p := range []float64{0, 1, 50, 90, 99, 100} {
+		if got := Percentile(s, p); got != 42 {
+			t.Fatalf("p%v of single sample: got %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// Canonical nearest-rank example: p50 of an even count picks the lower
+	// of the two middle samples, p100 the max, p0 the min.
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {12.5, 1}, {25, 2}, {50, 4}, {75, 6}, {90, 8}, {99, 8}, {100, 8},
+	}
+	for _, tc := range cases {
+		if got := Percentile(s, tc.p); got != tc.want {
+			t.Fatalf("p%v of %v: got %v, want %v", tc.p, s, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileTies(t *testing.T) {
+	// Repeated values are ordinary samples: rank selection is positional,
+	// so a run of ties dominates the percentiles its ranks cover.
+	s := []float64{1, 5, 5, 5, 5, 5, 5, 9}
+	if got := Percentile(s, 50); got != 5 {
+		t.Fatalf("p50 with ties: got %v, want 5", got)
+	}
+	if got := Percentile(s, 99); got != 9 {
+		t.Fatalf("p99 with ties: got %v, want 9", got)
+	}
+	all := []float64{3, 3, 3}
+	for _, p := range []float64{1, 50, 99} {
+		if got := Percentile(all, p); got != 3 {
+			t.Fatalf("p%v of all-ties: got %v, want 3", p, got)
+		}
+	}
+}
+
+func TestPercentileOutOfRangeP(t *testing.T) {
+	s := []float64{1, 2, 3}
+	if got := Percentile(s, -10); got != 1 {
+		t.Fatalf("negative p clamps to min: got %v", got)
+	}
+	if got := Percentile(s, 250); got != 3 {
+		t.Fatalf("p>100 clamps to max: got %v", got)
+	}
+}

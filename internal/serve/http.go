@@ -18,6 +18,8 @@ import (
 //	               a W3C traceparent header joins the caller's trace)
 //	GET  /serverz  serving status: queue, breaker, batch/shed/degraded counts
 //	GET  /tracez   tail-sampled request traces (when Config.Trace is set)
+//	GET  /varz     time-series history queries (when Config.History is set)
+//	GET  /dashz    time-series dashboard HTML (when Config.History is set)
 //	...            every read-only introspection endpoint of internal/obsrv
 //	               (/healthz, /metrics, /statusz, /events, /flightz, pprof)
 //
@@ -30,6 +32,12 @@ func (s *Server) Handler() http.Handler {
 	obs := obsrv.NewServer("swserve", s.obs, s.reg)
 	if s.cfg.Trace != nil {
 		obs.Mount("/tracez", s.cfg.Trace.Handler(), "tail-sampled request traces")
+	}
+	if s.cfg.History != nil {
+		obs.Mount("/varz", s.cfg.History.Handler(),
+			"time-series history: windowed counter rates, histogram percentiles, fleet utilization (JSON)")
+		obs.Mount("/dashz", s.cfg.History.DashHandler(),
+			"time-series dashboard: utilization stack and per-series sparklines (HTML)")
 	}
 	mux.Handle("/", obs.Handler())
 	mux.HandleFunc("/infer", s.handleInfer)

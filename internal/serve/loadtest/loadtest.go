@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swatop/internal/metrics"
 	"swatop/internal/serve"
 )
 
@@ -216,9 +217,9 @@ func merge(results []clientResult, opts Options, wall time.Duration) *Report {
 		rep.ThroughputRPS = float64(rep.OK) / secs
 	}
 	sort.Float64s(lats)
-	rep.P50Ms = percentile(lats, 50)
-	rep.P90Ms = percentile(lats, 90)
-	rep.P99Ms = percentile(lats, 99)
+	rep.P50Ms = metrics.Percentile(lats, 50)
+	rep.P90Ms = metrics.Percentile(lats, 90)
+	rep.P99Ms = metrics.Percentile(lats, 99)
 	if n := len(lats); n > 0 {
 		rep.MaxMs = lats[n-1]
 	}
@@ -256,25 +257,10 @@ func abs(v float64) float64 {
 func phaseStats(ms []float64) PhaseStats {
 	sort.Float64s(ms)
 	return PhaseStats{
-		P50Ms: percentile(ms, 50),
-		P90Ms: percentile(ms, 90),
-		P99Ms: percentile(ms, 99),
+		P50Ms: metrics.Percentile(ms, 50),
+		P90Ms: metrics.Percentile(ms, 90),
+		P99Ms: metrics.Percentile(ms, 99),
 	}
-}
-
-// percentile is the nearest-rank percentile of an ascending-sorted slice.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(p/100*float64(len(sorted))+0.999999) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
 }
 
 // String renders the one-screen report the CLI and tests log.

@@ -41,6 +41,7 @@ import (
 	"swatop/internal/metrics"
 	"swatop/internal/obsrv"
 	"swatop/internal/reqtrace"
+	"swatop/internal/tshist"
 )
 
 // Admission errors. The HTTP layer maps these onto status codes; embedded
@@ -115,6 +116,11 @@ type Config struct {
 	// observational: schedules and simulated machine seconds are
 	// bit-identical with tracing on or off.
 	Trace *reqtrace.Store
+	// History, when non-nil, is the time-series store the daemon's HTTP
+	// surface serves as /varz and /dashz (the cliobs -history scraper owns
+	// populating it). Read-only here like Trace: schedules and machine
+	// seconds are bit-identical with or without it.
+	History *tshist.Store
 	// SLO, when non-nil, runs the error-budget guardrail: a background
 	// checker computes burn rate from the latency histogram and the
 	// shed/expired counters, and a breach auto-dumps the flight recorder

@@ -1,0 +1,197 @@
+package tshist
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"swatop/internal/metrics"
+)
+
+// fixture builds a store with a counter growing 5/s and a histogram whose
+// in-window observations put p99 at the 10 bound — the /varz acceptance
+// shapes.
+func fixture(t *testing.T) *Store {
+	t.Helper()
+	s := New(Options{})
+	bounds := []float64{1, 10, 100}
+	for sec := 0; sec <= 120; sec += 60 {
+		snap := metrics.Snapshot{
+			Counters: map[string]int64{"reqs_total": int64(5 * sec)},
+			Gauges:   map[string]float64{"queue_depth": float64(sec)},
+		}
+		s.Ingest(at(float64(sec)), snap)
+	}
+	s.Ingest(at(0), histSnap("lat", bounds, []int64{0, 0, 0, 0}, 0))
+	s.Ingest(at(60), histSnap("lat", bounds, []int64{0, 0, 0, 0}, 0))
+	s.Ingest(at(120), histSnap("lat", bounds, []int64{98, 1, 1, 0}, 100))
+	return s
+}
+
+func TestVarzIndex(t *testing.T) {
+	s := fixture(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/varz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var doc struct {
+		Ingests     int64        `json:"ingests"`
+		Resolutions []string     `json:"resolutions"`
+		Capacity    int          `json:"capacity"`
+		Series      []SeriesInfo `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if doc.Ingests != 6 {
+		t.Fatalf("ingests = %d, want 6", doc.Ingests)
+	}
+	if doc.Capacity != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", doc.Capacity, DefaultCapacity)
+	}
+	if len(doc.Resolutions) != len(DefaultResolutions) {
+		t.Fatalf("resolutions = %v", doc.Resolutions)
+	}
+	names := map[string]bool{}
+	for _, info := range doc.Series {
+		names[info.Name] = true
+	}
+	for _, want := range []string{"reqs_total", "queue_depth", "lat"} {
+		if !names[want] {
+			t.Fatalf("series %q missing from index: %v", want, names)
+		}
+	}
+}
+
+func TestVarzCounterWindow(t *testing.T) {
+	s := fixture(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest("GET", "/varz/reqs_total?window=60s", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var q QueryResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if q.Kind != KindCounter {
+		t.Fatalf("kind = %q", q.Kind)
+	}
+	if q.Delta != 300 || q.Rate != 5 {
+		t.Fatalf("delta/rate = %v/%v, want 300/5", q.Delta, q.Rate)
+	}
+}
+
+func TestVarzHistogramWindow(t *testing.T) {
+	s := fixture(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest("GET", "/varz/lat?window=60s", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var q QueryResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if q.Count != 100 {
+		t.Fatalf("count = %d, want 100", q.Count)
+	}
+	if q.P50 != 1 || q.P99 != 10 {
+		t.Fatalf("p50/p99 = %v/%v, want 1/10", q.P50, q.P99)
+	}
+}
+
+func TestVarzUnknownSeries(t *testing.T) {
+	s := fixture(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/varz/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestVarzBadWindow(t *testing.T) {
+	s := fixture(t)
+	for _, url := range []string{
+		"/varz?window=banana",
+		"/varz/reqs_total?window=banana",
+		"/varz/reqs_total?res=banana",
+	} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 400 {
+			t.Fatalf("%s: status = %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestDashHandler(t *testing.T) {
+	s := fixture(t)
+	s.Ingest(at(121), metrics.Snapshot{Gauges: map[string]float64{
+		"machine_compute_seconds":        8,
+		"machine_stall_seconds":          2,
+		"group0_machine_compute_seconds": 4,
+		"group0_machine_stall_seconds":   1,
+	}})
+	rec := httptest.NewRecorder()
+	s.DashHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/dashz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"<!doctype html>",
+		"fleet utilization",
+		"reqs_total",
+		"lat",
+		"<svg",           // sparklines rendered
+		"var(--compute)", // palette roles, not raw hex in marks
+		"group0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashz missing %q", want)
+		}
+	}
+	// Bad window propagates as 400 here too.
+	rec = httptest.NewRecorder()
+	s.DashHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/dashz?window=x", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad window status = %d, want 400", rec.Code)
+	}
+}
+
+func TestDashHandlerEmptyStore(t *testing.T) {
+	s := New(Options{})
+	rec := httptest.NewRecorder()
+	s.DashHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/dashz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "series") {
+		t.Fatal("empty dash should still render the series section")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); !strings.Contains(got, "no data") {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	flat := sparkline([]float64{3, 3, 3})
+	if !strings.Contains(flat, "polyline") {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+	one := sparkline([]float64{1})
+	if !strings.Contains(one, "polyline") {
+		t.Fatalf("single-point sparkline = %q", one)
+	}
+}

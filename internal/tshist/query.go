@@ -1,0 +1,411 @@
+package tshist
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"swatop/internal/metrics"
+)
+
+// QueryResult is the answer to one windowed series query — what
+// /varz/<metric> serves. Points or HistPoints is populated according to
+// the series kind; the derived fields summarize the window.
+type QueryResult struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"`
+	WindowMs     int64   `json:"window_ms"`
+	ResolutionMs int64   `json:"resolution_ms"`
+	Points       []Point `json:"points,omitempty"`
+
+	// Counter derivations: Delta is the increase over the window, Rate is
+	// Delta per second. A counter reset inside the window clamps the delta
+	// to the final value (everything since the reset).
+	Delta float64 `json:"delta,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
+
+	// Gauge derivations over the window.
+	Min  float64 `json:"min,omitempty"`
+	Max  float64 `json:"max,omitempty"`
+	Mean float64 `json:"mean,omitempty"`
+	Last float64 `json:"last,omitempty"`
+
+	// Histogram derivations: bounds plus windowed count/sum deltas and
+	// nearest-rank percentiles estimated from bucket deltas (each
+	// percentile reports the upper bound of the bucket its rank lands in;
+	// ranks in the +Inf overflow bucket clamp to the largest finite
+	// bound).
+	Bounds     []float64   `json:"bounds,omitempty"`
+	HistPoints []HistPoint `json:"hist_points,omitempty"`
+	Count      int64       `json:"count,omitempty"`
+	Sum        float64     `json:"sum,omitempty"`
+	P50        float64     `json:"p50,omitempty"`
+	P90        float64     `json:"p90,omitempty"`
+	P99        float64     `json:"p99,omitempty"`
+}
+
+// pickRes chooses the query resolution: the explicit request when given,
+// otherwise the finest resolution whose retained span (resolution x
+// capacity) covers the window. Returns the ring index.
+func (s *Store) pickRes(window, res time.Duration) int {
+	if res > 0 {
+		// Exact match wins; otherwise the finest resolution >= requested.
+		for i, r := range s.res {
+			if r >= res {
+				return i
+			}
+		}
+		return len(s.res) - 1
+	}
+	for i, r := range s.res {
+		if time.Duration(s.cap)*r >= window {
+			return i
+		}
+	}
+	return len(s.res) - 1
+}
+
+// windowStart computes the inclusive window start in unix millis, anchored
+// at the newest ingest (not the wall clock, so replayed synthetic series
+// query deterministically).
+func (s *Store) windowStart(window time.Duration) int64 {
+	if window <= 0 {
+		return 0
+	}
+	return s.lastMs - window.Milliseconds()
+}
+
+// Query answers a windowed read of one series. window <= 0 means "all
+// retained history"; res <= 0 picks the finest resolution covering the
+// window. ok is false for unknown series.
+func (s *Store) Query(name string, window, res time.Duration) (QueryResult, bool) {
+	if s == nil {
+		return QueryResult{}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ri := s.pickRes(window, res)
+	start := s.windowStart(window)
+	q := QueryResult{
+		Name:         name,
+		WindowMs:     window.Milliseconds(),
+		ResolutionMs: s.res[ri].Milliseconds(),
+	}
+
+	// window <= 0 asks for the series' lifetime: deltas are taken from
+	// zero (cumulative series start at zero at process birth), not from
+	// the first retained point.
+	lifetime := window <= 0
+	if ser, ok := s.scalars[name]; ok {
+		q.Kind = ser.kind
+		for _, p := range ser.rings[ri].snapshot() {
+			if p.T >= start {
+				q.Points = append(q.Points, p)
+			}
+		}
+		summarizeScalar(&q, lifetime)
+		return q, true
+	}
+	if ser, ok := s.hists[name]; ok {
+		q.Kind = KindHistogram
+		q.Bounds = append([]float64(nil), ser.bounds...)
+		for _, p := range ser.rings[ri].snapshot() {
+			if p.T >= start {
+				q.HistPoints = append(q.HistPoints, p)
+			}
+		}
+		summarizeHist(&q, lifetime)
+		return q, true
+	}
+	return QueryResult{}, false
+}
+
+// summarizeScalar fills the counter/gauge derivations from q.Points.
+// lifetime makes the counter delta cumulative (from zero) instead of
+// windowed (from the first retained point).
+func summarizeScalar(q *QueryResult, lifetime bool) {
+	if len(q.Points) == 0 {
+		return
+	}
+	first, last := q.Points[0], q.Points[len(q.Points)-1]
+	q.Last = last.Last
+	q.Min, q.Max = first.Min, first.Max
+	var sum float64
+	var n int64
+	for _, p := range q.Points {
+		if p.Min < q.Min {
+			q.Min = p.Min
+		}
+		if p.Max > q.Max {
+			q.Max = p.Max
+		}
+		sum += p.Last * float64(p.N)
+		n += p.N
+	}
+	if n > 0 {
+		q.Mean = sum / float64(n)
+	}
+	if q.Kind != KindCounter {
+		return
+	}
+	// Rate over window: the increase between the first and last retained
+	// point divided by the time between them. One point yields no rate —
+	// a window needs two observations to witness change.
+	q.Delta = last.Last - first.Last
+	if lifetime || q.Delta < 0 {
+		// Lifetime view, or a counter reset inside the window: the final
+		// cumulative value is the honest delta.
+		q.Delta = last.Last
+	}
+	if dtMs := last.T - first.T; dtMs > 0 {
+		q.Rate = q.Delta / (float64(dtMs) / 1e3)
+	}
+}
+
+// summarizeHist fills the windowed count/sum deltas and percentiles from
+// q.HistPoints. Because the points are cumulative, the windowed
+// distribution is lastPoint - firstPoint; a single retained point (or a
+// lifetime query) is treated as a delta from zero.
+func summarizeHist(q *QueryResult, lifetime bool) {
+	if len(q.HistPoints) == 0 {
+		return
+	}
+	last := q.HistPoints[len(q.HistPoints)-1]
+	base := HistPoint{Buckets: make([]int64, len(last.Buckets))}
+	if len(q.HistPoints) > 1 && !lifetime {
+		base = q.HistPoints[0]
+	}
+	q.Count = last.Count - base.Count
+	q.Sum = last.Sum - base.Sum
+	if q.Count < 0 { // reset: fall back to the cumulative state
+		q.Count, q.Sum = last.Count, last.Sum
+		base = HistPoint{Buckets: make([]int64, len(last.Buckets))}
+	}
+	delta := make([]int64, len(last.Buckets))
+	for i := range delta {
+		d := last.Buckets[i]
+		if i < len(base.Buckets) {
+			d -= base.Buckets[i]
+		}
+		if d < 0 {
+			d = last.Buckets[i]
+		}
+		delta[i] = d
+	}
+	q.P50 = bucketPercentile(q.Bounds, delta, q.Count, 50)
+	q.P90 = bucketPercentile(q.Bounds, delta, q.Count, 90)
+	q.P99 = bucketPercentile(q.Bounds, delta, q.Count, 99)
+}
+
+// bucketPercentile is the nearest-rank percentile over a windowed bucket
+// distribution: the value reported is the upper bound of the bucket the
+// rank lands in. Ranks landing in the +Inf overflow bucket clamp to the
+// largest finite bound (the best knowable upper estimate). Zero
+// observations yield 0.
+func bucketPercentile(bounds []float64, delta []int64, total int64, p float64) float64 {
+	if total <= 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := int64(metrics.PercentileIndex(int(total), p)) // 0-based
+	var cum int64
+	for i, d := range delta {
+		cum += d
+		if cum > rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return bounds[len(bounds)-1] // overflow bucket
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// GroupUtil is one core group's utilization over a window: the increase
+// in simulated compute, stall and cross-group communication seconds. The
+// aggregate entry (Group "fleet") sums the unprefixed machine gauges and
+// the fleet's modeled comm seconds.
+type GroupUtil struct {
+	Group          string  `json:"group"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	StallSeconds   float64 `json:"stall_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	// Utilization is compute / (compute + stall + comm), 0 when idle.
+	Utilization float64 `json:"utilization"`
+}
+
+// scalarDelta computes the windowed increase of a cumulative scalar
+// series (0 when absent or single-point). Caller holds s.mu (read).
+func (s *Store) scalarDelta(name string, ri int, start int64) float64 {
+	ser, ok := s.scalars[name]
+	if !ok {
+		return 0
+	}
+	var first, last *Point
+	pts := ser.rings[ri].snapshot()
+	for i := range pts {
+		if pts[i].T < start {
+			continue
+		}
+		if first == nil {
+			first = &pts[i]
+		}
+		last = &pts[i]
+	}
+	if first == nil || last == nil || first == last {
+		return 0
+	}
+	d := last.Last - first.Last
+	if d < 0 {
+		d = last.Last
+	}
+	return d
+}
+
+// FleetUtilization reports per-group and aggregate utilization over the
+// window: how the fleet split its simulated seconds between computing,
+// stalling on DMA, and cross-group communication. Groups are discovered
+// from group<N>_machine_* gauge prefixes; the aggregate "fleet" row uses
+// the unprefixed machine gauges plus infer_comm_seconds.
+func (s *Store) FleetUtilization(window time.Duration) []GroupUtil {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ri := s.pickRes(window, 0)
+	start := s.windowStart(window)
+
+	prefixes := map[string]bool{"": true}
+	for name := range s.scalars {
+		if p, rest := splitGroupPrefix(name); p != "" && rest == "machine_compute_seconds" {
+			prefixes[p] = true
+		}
+	}
+	names := make([]string, 0, len(prefixes))
+	for p := range prefixes {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+
+	out := make([]GroupUtil, 0, len(names))
+	for _, p := range names {
+		u := GroupUtil{
+			Group:          "fleet",
+			ComputeSeconds: s.scalarDelta(p+"machine_compute_seconds", ri, start),
+			StallSeconds:   s.scalarDelta(p+"machine_stall_seconds", ri, start),
+		}
+		if p == "" {
+			// Modeled cross-group communication is accounted at the fleet
+			// level (it is time on the shared DDR3 path, not one group's).
+			u.CommSeconds = s.scalarDelta("infer_comm_seconds", ri, start)
+		} else {
+			u.Group = p[:len(p)-1] // "group0_" -> "group0"
+		}
+		if busy := u.ComputeSeconds + u.StallSeconds + u.CommSeconds; busy > 0 {
+			u.Utilization = u.ComputeSeconds / busy
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// UtilPoint is one bucket of a utilization timeline: the per-bucket
+// increase of compute/stall/comm seconds.
+type UtilPoint struct {
+	T              int64   `json:"t"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	StallSeconds   float64 `json:"stall_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+}
+
+// UtilizationTimeline derives a per-bucket utilization series for one
+// group ("" or "fleet" for the aggregate, "group0"... for one group) by
+// differencing the cumulative machine gauges bucket to bucket.
+func (s *Store) UtilizationTimeline(group string, window, res time.Duration) []UtilPoint {
+	if s == nil {
+		return nil
+	}
+	prefix := ""
+	if group != "" && group != "fleet" {
+		prefix = group + "_"
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ri := s.pickRes(window, res)
+	start := s.windowStart(window)
+
+	series := func(name string) map[int64]float64 {
+		ser, ok := s.scalars[name]
+		if !ok {
+			return nil
+		}
+		m := map[int64]float64{}
+		for _, p := range ser.rings[ri].snapshot() {
+			m[p.T] = p.Last
+		}
+		return m
+	}
+	compute := series(prefix + "machine_compute_seconds")
+	stall := series(prefix + "machine_stall_seconds")
+	comm := map[int64]float64{}
+	if prefix == "" {
+		comm = series("infer_comm_seconds")
+	}
+
+	ts := map[int64]bool{}
+	for t := range compute {
+		ts[t] = true
+	}
+	for t := range stall {
+		ts[t] = true
+	}
+	for t := range comm {
+		ts[t] = true
+	}
+	order := make([]int64, 0, len(ts))
+	for t := range ts {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var out []UtilPoint
+	var prevC, prevS, prevM float64
+	havePrev := false
+	for _, t := range order {
+		c, sv, m := compute[t], stall[t], comm[t]
+		if havePrev && t >= start {
+			out = append(out, UtilPoint{
+				T:              t,
+				ComputeSeconds: nonNeg(c - prevC),
+				StallSeconds:   nonNeg(sv - prevS),
+				CommSeconds:    nonNeg(m - prevM),
+			})
+		}
+		prevC, prevS, prevM = c, sv, m
+		havePrev = true
+	}
+	return out
+}
+
+func nonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ParseWindow parses a /varz window or resolution parameter: a Go
+// duration string ("60s", "5m"); empty yields the fallback.
+func ParseWindow(s string, fallback time.Duration) (time.Duration, error) {
+	if s == "" {
+		return fallback, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("tshist: bad duration %q: %w", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("tshist: negative duration %q", s)
+	}
+	return d, nil
+}

@@ -1,0 +1,119 @@
+package tshist
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swatop/internal/metrics"
+)
+
+// DefaultScrapeInterval is how often a Scraper snapshots its registry
+// when the caller does not say otherwise.
+const DefaultScrapeInterval = time.Second
+
+// Scraper populates a Store from a metrics.Registry on a fixed interval.
+// It is strictly read-only on the registry — Snapshot is the only call it
+// makes — so an attached scraper cannot change selected schedules or any
+// deterministic metric (the bit-identical invariant obs-check gates).
+//
+// The zero value is not usable; call NewScraper. Start/Stop may be called
+// at most once each; ScrapeOnce may be called at any time (tests drive
+// the store deterministically through it without starting the goroutine).
+type Scraper struct {
+	store    *Store
+	reg      *metrics.Registry
+	interval time.Duration
+
+	// now is the scraper's clock, a seam for deterministic tests.
+	now func() time.Time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+	scrapes   atomic.Int64
+}
+
+// NewScraper builds a scraper over store and reg. interval <= 0 uses
+// DefaultScrapeInterval.
+func NewScraper(store *Store, reg *metrics.Registry, interval time.Duration) *Scraper {
+	if interval <= 0 {
+		interval = DefaultScrapeInterval
+	}
+	return &Scraper{
+		store:    store,
+		reg:      reg,
+		interval: interval,
+		now:      time.Now,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SetClock replaces the scraper's time source (tests). Call before Start.
+func (sc *Scraper) SetClock(now func() time.Time) { sc.now = now }
+
+// ScrapeOnce snapshots the registry into the store immediately. Safe to
+// call concurrently with a running scrape loop and with registry writers.
+func (sc *Scraper) ScrapeOnce() {
+	if sc == nil {
+		return
+	}
+	sc.store.Ingest(sc.now(), sc.reg.Snapshot())
+	sc.scrapes.Add(1)
+}
+
+// Scrapes reports how many snapshots have been taken.
+func (sc *Scraper) Scrapes() int64 {
+	if sc == nil {
+		return 0
+	}
+	return sc.scrapes.Load()
+}
+
+// Start launches the scrape loop in a background goroutine. It takes one
+// immediate scrape so /varz has data before the first interval elapses.
+// Nil-safe.
+func (sc *Scraper) Start() {
+	if sc == nil {
+		return
+	}
+	sc.startOnce.Do(func() {
+		sc.started.Store(true)
+		sc.ScrapeOnce()
+		go func() {
+			defer close(sc.done)
+			tick := time.NewTicker(sc.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sc.stop:
+					return
+				case <-tick.C:
+					sc.ScrapeOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop (waiting for the goroutine to exit) and takes one
+// final scrape so the history includes the registry's terminal state.
+// Safe to call without Start, and more than once. Nil-safe.
+func (sc *Scraper) Stop() {
+	if sc == nil {
+		return
+	}
+	sc.stopOnce.Do(func() {
+		// Disarm Start for callers that race Stop before Start: the Once
+		// is consumed here, so a later Start launches nothing.
+		sc.startOnce.Do(func() {})
+		close(sc.stop)
+		if sc.started.Load() {
+			<-sc.done
+		}
+		sc.ScrapeOnce()
+	})
+}
